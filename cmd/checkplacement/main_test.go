@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T) (region, modules, placement string) {
+	t.Helper()
+	dir := t.TempDir()
+	region = filepath.Join(dir, "region.spec")
+	modules = filepath.Join(dir, "modules.spec")
+	placement = filepath.Join(dir, "placement.spec")
+	files := map[string]string{
+		region:    "region t 12 6\n",
+		modules:   "module a\nshape\nrect 0 0 3 2 CLB\nend\nmodule b\nshape\nrect 0 0 2 2 CLB\nend\n",
+		placement: "place a 0 0 0\nplace b 0 4 0\n",
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return region, modules, placement
+}
+
+func TestRunValid(t *testing.T) {
+	region, modules, placement := writeAll(t)
+	if err := run(region, modules, placement); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidOverlap(t *testing.T) {
+	region, modules, placement := writeAll(t)
+	if err := os.WriteFile(placement, []byte("place a 0 0 0\nplace b 0 1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(region, modules, placement); err == nil {
+		t.Fatal("overlapping placement accepted")
+	}
+}
+
+func TestRunMissingFiles(t *testing.T) {
+	region, modules, placement := writeAll(t)
+	if err := run("/nonexistent", modules, placement); err == nil {
+		t.Error("missing region accepted")
+	}
+	if err := run(region, "/nonexistent", placement); err == nil {
+		t.Error("missing modules accepted")
+	}
+	if err := run(region, modules, "/nonexistent"); err == nil {
+		t.Error("missing placement accepted")
+	}
+}

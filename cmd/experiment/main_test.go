@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func testCfg() experiments.RunConfig {
+	return experiments.RunConfig{
+		Runs: 1,
+		Seed: 1,
+		Workload: workload.Config{
+			NumModules: 5, CLBMin: 8, CLBMax: 20, BRAMMax: 2, Alternatives: 2,
+		},
+		StallNodes: 200,
+		Timeout:    10 * time.Second,
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	for _, exp := range []string{"fig1", "fig4"} {
+		var sb strings.Builder
+		if err := run(&sb, exp, testCfg()); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunTable1Reduced(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "table1", testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Design alternatives") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "bogus", testCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

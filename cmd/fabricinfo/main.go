@@ -1,0 +1,94 @@
+// Command fabricinfo inspects fabric models: the predefined device
+// catalog or a partial-region description file. It prints dimensions,
+// the per-kind resource histogram, the configuration-frame cost of a
+// full reconfiguration, and optionally the tile map.
+//
+// Examples:
+//
+//	fabricinfo -list
+//	fabricinfo -device virtex4-like-72x60 -map
+//	fabricinfo -region region.spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fabric"
+	"repro/internal/recobus"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list the device catalog")
+		device     = flag.String("device", "", "predefined device name")
+		regionPath = flag.String("region", "", "partial-region description file")
+		showMap    = flag.Bool("map", false, "print the tile map")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range fabric.Catalog() {
+			dev, err := fabric.ByName(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fabricinfo:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-22s %3dx%-3d %s\n", n, dev.W(), dev.H(), dev.Histogram())
+		}
+		return
+	}
+	if err := run(*device, *regionPath, *showMap); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(device, regionPath string, showMap bool) error {
+	var region *fabric.Region
+	switch {
+	case device != "" && regionPath != "":
+		return fmt.Errorf("use -device or -region, not both")
+	case device != "":
+		dev, err := fabric.ByName(device)
+		if err != nil {
+			return err
+		}
+		region = dev.FullRegion()
+	case regionPath != "":
+		f, err := os.Open(regionPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spec, err := recobus.ParseRegion(f)
+		if err != nil {
+			return err
+		}
+		region, err = spec.Build()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -list, -device or -region")
+	}
+
+	hist := region.Histogram()
+	fmt.Printf("device:    %s\n", region.Device().Name())
+	fmt.Printf("size:      %d x %d tiles\n", region.W(), region.H())
+	fmt.Printf("resources: %s\n", hist)
+	fmt.Printf("placeable: %d tiles (%.1f%%)\n", hist.Placeable(),
+		100*float64(hist.Placeable())/float64(hist.Total()))
+
+	fm := fabric.DefaultFrameModel()
+	frames := fm.FrameCount(region, region.Bounds())
+	fmt.Printf("full reconfiguration: %d frames, %d bytes, %v\n",
+		frames, frames*fm.FrameBytes, fm.ReconfigTime(frames))
+
+	if showMap {
+		fmt.Println()
+		fmt.Println(region)
+	}
+	return nil
+}

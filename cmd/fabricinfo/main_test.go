@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDevice(t *testing.T) {
+	if err := run("spartan-like-24x16", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRegionFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.spec")
+	if err := os.WriteFile(path, []byte("region t 8 8\nbramcols 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", false); err == nil {
+		t.Error("no source accepted")
+	}
+	if err := run("x", "y", false); err == nil {
+		t.Error("both sources accepted")
+	}
+	if err := run("bogus-device", "", false); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run("", "/nonexistent", false); err == nil {
+		t.Error("missing region file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.spec")
+	if err := os.WriteFile(bad, []byte("wibble\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", bad, false); err == nil {
+		t.Error("bad region spec accepted")
+	}
+}

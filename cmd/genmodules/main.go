@@ -1,0 +1,54 @@
+// Command genmodules draws a random module workload (the paper's
+// Section-V recipe by default) and writes it as a module specification
+// consumable by cmd/placer.
+//
+// Example:
+//
+//	genmodules -n 30 -seed 7 > modules.spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/recobus"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 30, "number of modules")
+		seed    = flag.Int64("seed", 1, "random seed")
+		clbMin  = flag.Int("clbmin", 20, "minimum CLB demand")
+		clbMax  = flag.Int("clbmax", 100, "maximum CLB demand")
+		bramMax = flag.Int("brammax", 4, "maximum BRAM demand")
+		dspMax  = flag.Int("dspmax", 0, "maximum DSP demand")
+		alts    = flag.Int("alts", 4, "design alternatives per module")
+	)
+	flag.Parse()
+
+	cfg := workload.Config{
+		NumModules:   *n,
+		CLBMin:       *clbMin,
+		CLBMax:       *clbMax,
+		BRAMMax:      *bramMax,
+		NoBRAM:       *bramMax == 0,
+		DSPMax:       *dspMax,
+		Alternatives: *alts,
+	}
+	if err := run(os.Stdout, cfg, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genmodules:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg workload.Config, seed int64) error {
+	mods, err := workload.Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	return recobus.WriteModules(w, mods)
+}

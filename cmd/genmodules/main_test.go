@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/recobus"
+	"repro/internal/workload"
+)
+
+func TestRunProducesParsableSpec(t *testing.T) {
+	var sb strings.Builder
+	cfg := workload.Config{NumModules: 4, CLBMin: 6, CLBMax: 12, BRAMMax: 1, Alternatives: 2}
+	if err := run(&sb, cfg, 7); err != nil {
+		t.Fatal(err)
+	}
+	mods, err := recobus.ParseModules(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("generated spec unparsable: %v", err)
+	}
+	if len(mods) != 4 {
+		t.Fatalf("modules = %d", len(mods))
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var sb strings.Builder
+	cfg := workload.Config{NumModules: -3, CLBMax: 5, Alternatives: 1}
+	if err := run(&sb, cfg, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := workload.Config{NumModules: 3, CLBMin: 5, CLBMax: 9, NoBRAM: true, Alternatives: 2}
+	var a, b strings.Builder
+	if err := run(&a, cfg, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, cfg, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed differs")
+	}
+}

@@ -1,0 +1,108 @@
+// Command onlinesim runs the online placement simulator: a seeded task
+// stream is served on a device by each space-management policy, and the
+// resulting service levels, utilization and fragmentation are compared.
+//
+// Examples:
+//
+//	onlinesim -device virtex4-like-72x60 -tasks 200
+//	onlinesim -region region.spec -manager first-fit+alternatives
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/fabric"
+	"repro/internal/online"
+	"repro/internal/recobus"
+)
+
+func main() {
+	var (
+		device     = flag.String("device", "virtex4-like-72x60", "predefined device name")
+		regionPath = flag.String("region", "", "partial-region description file (overrides -device)")
+		tasks      = flag.Int("tasks", 200, "number of task arrivals")
+		seed       = flag.Int64("seed", 1, "stream seed")
+		interarr   = flag.Int("interarrival", 2, "mean inter-arrival time")
+		duration   = flag.Int("duration", 120, "mean task residency")
+		clbMin     = flag.Int("clbmin", 10, "minimum CLB demand per task")
+		clbMax     = flag.Int("clbmax", 60, "maximum CLB demand per task")
+		bramMax    = flag.Int("brammax", 3, "maximum BRAM demand per task")
+		manager    = flag.String("manager", "", "run only this manager (default: all)")
+	)
+	flag.Parse()
+	if err := run(*device, *regionPath, *tasks, *seed, *interarr, *duration, *clbMin, *clbMax, *bramMax, *manager); err != nil {
+		fmt.Fprintln(os.Stderr, "onlinesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(device, regionPath string, tasks int, seed int64, interarr, duration, clbMin, clbMax, bramMax int, manager string) error {
+	var region *fabric.Region
+	if regionPath != "" {
+		f, err := os.Open(regionPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spec, err := recobus.ParseRegion(f)
+		if err != nil {
+			return err
+		}
+		region, err = spec.Build()
+		if err != nil {
+			return err
+		}
+	} else {
+		dev, err := fabric.ByName(device)
+		if err != nil {
+			return err
+		}
+		region = dev.FullRegion()
+	}
+
+	stream := online.StreamConfig{
+		Tasks:            tasks,
+		MeanInterarrival: interarr,
+		MeanDuration:     duration,
+	}
+	stream.Library.CLBMin, stream.Library.CLBMax = clbMin, clbMax
+	stream.Library.BRAMMax = bramMax
+	stream.Library.NoBRAM = bramMax == 0
+	stream.Library.Alternatives = 4
+	stream.Library.NumModules = 1
+
+	ts, err := online.GenerateStream(stream, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("region %s (%dx%d), %d arrivals\n\n",
+		region.Device().Name(), region.W(), region.H(), len(ts))
+
+	managers := online.Managers()
+	// The CP-replan manager is expensive (one constraint solve per
+	// rejection), so it only runs when explicitly requested.
+	if manager == "first-fit+cp-replan" {
+		managers = append(managers, &online.ReplanFirstFit{
+			FirstFit: online.FirstFit{UseAlternatives: true},
+		})
+	}
+	ran := false
+	for _, mgr := range managers {
+		if manager != "" && mgr.Name() != manager {
+			continue
+		}
+		st, err := online.Simulate(region, mgr, ts, fabric.DefaultFrameModel())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %v\n", mgr.Name(), st)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown manager %q", manager)
+	}
+	return nil
+}

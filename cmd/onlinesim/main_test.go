@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllManagers(t *testing.T) {
+	if err := run("spartan-like-24x16", "", 30, 1, 3, 60, 4, 10, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleManager(t *testing.T) {
+	if err := run("spartan-like-24x16", "", 20, 1, 3, 60, 4, 10, 0, "first-fit"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRegionFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.spec")
+	if err := os.WriteFile(path, []byte("region t 20 10\nbramcols 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, 15, 2, 3, 60, 4, 10, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "", 10, 1, 3, 60, 4, 10, 0, ""); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run("spartan-like-24x16", "", 10, 1, 3, 60, 4, 10, 0, "bogus-manager"); err == nil {
+		t.Error("unknown manager accepted")
+	}
+	if err := run("", "/nonexistent", 10, 1, 3, 60, 4, 10, 0, ""); err == nil {
+		t.Error("missing region file accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command placer runs the design flow of Figure 2 from the shell: it
+// reads a partial-region description and a module specification
+// (ReCoBus-style text formats, see internal/recobus), computes an
+// optimised placement, prints the floorplan, and optionally assembles
+// bitstreams or writes an SVG rendering.
+//
+// Example:
+//
+//	placer -region region.spec -modules modules.spec -svg floorplan.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/recobus"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		regionPath  = flag.String("region", "", "partial-region description file (required)")
+		modulesPath = flag.String("modules", "", "module specification file (required)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "optimisation budget")
+		stall       = flag.Int64("stall", 2000, "stop after this many nodes without improvement")
+		first       = flag.Bool("first", false, "stop at the first feasible placement")
+		strategy    = flag.String("strategy", "first-fail", "branching: first-fail, largest-first, input-order")
+		svgPath     = flag.String("svg", "", "write an SVG floorplan to this file")
+		pngPath     = flag.String("png", "", "write a PNG floorplan to this file")
+		outPath     = flag.String("out", "", "write the placement file (for checkplacement / external tools)")
+		bitstreams  = flag.Bool("bitstreams", false, "assemble and summarise bitstreams")
+	)
+	flag.Parse()
+	if *regionPath == "" || *modulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*regionPath, *modulesPath, *timeout, *stall, *first, *strategy, *svgPath, *pngPath, *outPath, *bitstreams); err != nil {
+		fmt.Fprintln(os.Stderr, "placer:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	for _, st := range []core.Strategy{core.StrategyFirstFail, core.StrategyLargestFirst, core.StrategyInputOrder} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func run(regionPath, modulesPath string, timeout time.Duration, stall int64, first bool, strategy, svgPath, pngPath, outPath string, bitstreams bool) error {
+	regionFile, err := os.Open(regionPath)
+	if err != nil {
+		return err
+	}
+	defer regionFile.Close()
+	modulesFile, err := os.Open(modulesPath)
+	if err != nil {
+		return err
+	}
+	defer modulesFile.Close()
+
+	flow, err := recobus.LoadFlow(regionFile, modulesFile)
+	if err != nil {
+		return err
+	}
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	res, err := flow.Place(core.Options{
+		Timeout:           timeout,
+		StallNodes:        stall,
+		FirstSolutionOnly: first,
+		Strategy:          strat,
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Found {
+		return fmt.Errorf("no feasible placement for this module set")
+	}
+
+	fmt.Println(res)
+	fmt.Println(render.PlacementsWithRuler(flow.Region, res.Placements))
+
+	if bitstreams {
+		bs, err := flow.Assemble(res)
+		if err != nil {
+			return err
+		}
+		fmt.Println("bitstreams:")
+		for _, b := range bs {
+			fmt.Println(" ", b)
+		}
+		fmt.Println("total reconfiguration time:", recobus.TotalReconfigTime(bs))
+	}
+
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := render.SVG(f, flow.Region, res.Placements, 10); err != nil {
+			return err
+		}
+		fmt.Println("wrote", svgPath)
+	}
+	if pngPath != "" {
+		f, err := os.Create(pngPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := render.PNG(f, flow.Region, res.Placements, 10); err != nil {
+			return err
+		}
+		fmt.Println("wrote", pngPath)
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := recobus.WritePlacement(f, res); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outPath)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeSpecs(t *testing.T) (regionPath, modulesPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	regionPath = filepath.Join(dir, "region.spec")
+	modulesPath = filepath.Join(dir, "modules.spec")
+	region := "region t 20 12\nbramcols 4 14\nbus 0\n"
+	modules := "module a\ndemand 8 1 0\nalternatives 2\nmodule b\nshape\nrect 0 0 3 2 CLB\nend\n"
+	if err := os.WriteFile(regionPath, []byte(region), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(modulesPath, []byte(modules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return regionPath, modulesPath
+}
+
+func TestRunHappyPath(t *testing.T) {
+	regionPath, modulesPath := writeSpecs(t)
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "fp.svg")
+	pngPath := filepath.Join(dir, "fp.png")
+	outPath := filepath.Join(dir, "placement.spec")
+	if err := run(regionPath, modulesPath, 5*time.Second, 200, false, "first-fail", svg, pngPath, outPath, true); err != nil {
+		t.Fatal(err)
+	}
+	placement, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(placement), "place a ") {
+		t.Fatalf("placement file: %q", string(placement))
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("svg output malformed")
+	}
+	pngData, err := os.ReadFile(pngPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pngData) < 8 || pngData[1] != 'P' || pngData[2] != 'N' || pngData[3] != 'G' {
+		t.Fatal("png output malformed")
+	}
+}
+
+func TestRunFirstSolution(t *testing.T) {
+	regionPath, modulesPath := writeSpecs(t)
+	if err := run(regionPath, modulesPath, 5*time.Second, 0, true, "largest-first", "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	regionPath, modulesPath := writeSpecs(t)
+	if err := run("/nonexistent", modulesPath, time.Second, 0, false, "first-fail", "", "", "", false); err == nil {
+		t.Error("missing region file accepted")
+	}
+	if err := run(regionPath, "/nonexistent", time.Second, 0, false, "first-fail", "", "", "", false); err == nil {
+		t.Error("missing modules file accepted")
+	}
+	if err := run(regionPath, modulesPath, time.Second, 0, false, "wat", "", "", "", false); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []string{"first-fail", "largest-first", "input-order"} {
+		if _, err := parseStrategy(s); err != nil {
+			t.Errorf("%s rejected: %v", s, err)
+		}
+	}
+	if _, err := parseStrategy("nope"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command regionplan allocates a reconfigurable region on a device for
+// a module set: the design-time step preceding module placement. It
+// prints the winning region, its resource inventory, and the
+// feasibility placement.
+//
+// Example:
+//
+//	genmodules -n 6 -clbmin 10 -clbmax 30 > modules.spec
+//	regionplan -device virtex4-like-72x60 -modules modules.spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/recobus"
+	"repro/internal/regionplan"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		device      = flag.String("device", "virtex4-like-72x60", "predefined device name")
+		modulesPath = flag.String("modules", "", "module specification file (required)")
+		step        = flag.Int("step", 4, "candidate grid step")
+		attempts    = flag.Int("attempts", 300, "max placement attempts")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-candidate budget")
+	)
+	flag.Parse()
+	if *modulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*device, *modulesPath, *step, *attempts, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "regionplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(device, modulesPath string, step, attempts int, timeout time.Duration) error {
+	dev, err := fabric.ByName(device)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(modulesPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mods, err := recobus.ParseModules(f)
+	if err != nil {
+		return err
+	}
+
+	best, tried, err := regionplan.Plan(dev, mods, regionplan.Options{
+		Step:        step,
+		MaxAttempts: attempts,
+		Placer:      core.Options{Timeout: timeout},
+	})
+	if err != nil {
+		return fmt.Errorf("%w (%d candidates placement-checked)", err, len(tried))
+	}
+
+	region := dev.Region(best.Rect)
+	fmt.Printf("device:      %s (%dx%d)\n", dev.Name(), dev.W(), dev.H())
+	fmt.Printf("region:      %v (%d tiles, %s)\n", best.Rect, best.Rect.Area(), region.Histogram())
+	fmt.Printf("checked:     %d candidates with placements\n", len(tried))
+	fmt.Printf("feasibility: %v\n\n", best.Result)
+	fmt.Println(render.PlacementsWithRuler(region, best.Result.Placements))
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "modules.spec")
+	content := "module a\ndemand 8 1 0\nalternatives 2\nmodule b\nshape\nrect 0 0 3 2 CLB\nend\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("virtex2-like-48x32", path, 4, 200, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "modules.spec")
+	if err := os.WriteFile(path, []byte("module a\ndemand 4 0 0\nalternatives 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bogus", path, 4, 10, time.Second); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run("spartan-like-24x16", "/nonexistent", 4, 10, time.Second); err == nil {
+		t.Error("missing modules file accepted")
+	}
+	// BRAM demand on a BRAM-free device: planning must fail cleanly.
+	bramPath := filepath.Join(t.TempDir(), "bram.spec")
+	if err := os.WriteFile(bramPath, []byte("module m\ndemand 4 2 0\nalternatives 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("spartan-like-24x16", bramPath, 4, 5, time.Second); err == nil {
+		t.Error("unsatisfiable demand accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Command rtsched plans a deterministic runtime-reconfiguration
+// schedule: a partial region, a module library and a phase schedule go
+// in; per-phase placements, switch costs over the configuration port,
+// and the total reconfiguration overhead come out.
+//
+// Example:
+//
+//	rtsched -region region.spec -modules modules.spec -schedule sched.spec -persistent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/recobus"
+	"repro/internal/render"
+	"repro/internal/rtsim"
+)
+
+func main() {
+	var (
+		regionPath   = flag.String("region", "", "partial-region description file (required)")
+		modulesPath  = flag.String("modules", "", "module specification file (required)")
+		schedulePath = flag.String("schedule", "", "phase schedule file (required)")
+		persistent   = flag.Bool("persistent", false, "pin surviving modules across phase switches")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-phase optimisation budget")
+		stall        = flag.Int64("stall", 2000, "per-phase convergence: nodes without improvement")
+		floorplans   = flag.Bool("floorplans", false, "print per-phase floorplans")
+	)
+	flag.Parse()
+	if *regionPath == "" || *modulesPath == "" || *schedulePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*regionPath, *modulesPath, *schedulePath, *persistent, *timeout, *stall, *floorplans); err != nil {
+		fmt.Fprintln(os.Stderr, "rtsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(regionPath, modulesPath, schedulePath string, persistent bool, timeout time.Duration, stall int64, floorplans bool) error {
+	regionFile, err := os.Open(regionPath)
+	if err != nil {
+		return err
+	}
+	defer regionFile.Close()
+	modulesFile, err := os.Open(modulesPath)
+	if err != nil {
+		return err
+	}
+	defer modulesFile.Close()
+	flow, err := recobus.LoadFlow(regionFile, modulesFile)
+	if err != nil {
+		return err
+	}
+
+	scheduleFile, err := os.Open(schedulePath)
+	if err != nil {
+		return err
+	}
+	defer scheduleFile.Close()
+	phases, err := rtsim.ParseSchedule(scheduleFile, rtsim.Library(flow.Modules))
+	if err != nil {
+		return err
+	}
+
+	tl, err := rtsim.Plan(flow.Region, phases, rtsim.Options{
+		Placer: core.Options{
+			Timeout:    timeout,
+			StallNodes: stall,
+			BusRows:    flow.Spec.BusRows,
+		},
+		FrameModel: flow.FrameModel,
+		Persistent: persistent,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(tl)
+	if floorplans {
+		for _, p := range tl.Plans {
+			fmt.Printf("\n-- %s --\n%s\n", p.Phase.Name,
+				render.Placements(flow.Region, p.Result.Placements))
+		}
+	}
+	return nil
+}

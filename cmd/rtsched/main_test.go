@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeFiles(t *testing.T) (region, modules, schedule string) {
+	t.Helper()
+	dir := t.TempDir()
+	region = filepath.Join(dir, "region.spec")
+	modules = filepath.Join(dir, "modules.spec")
+	schedule = filepath.Join(dir, "sched.spec")
+	files := map[string]string{
+		region:   "region t 20 12\nbramcols 4 14\nbus 0\n",
+		modules:  "module a\ndemand 8 1 0\nalternatives 2\nmodule b\nshape\nrect 0 0 3 2 CLB\nend\n",
+		schedule: "phase boot 10ms\nuse a b\nphase run 30ms\nuse a\n",
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return region, modules, schedule
+}
+
+func TestRunFreshAndPersistent(t *testing.T) {
+	region, modules, schedule := writeFiles(t)
+	for _, persistent := range []bool{false, true} {
+		if err := run(region, modules, schedule, persistent, 5*time.Second, 200, true); err != nil {
+			t.Fatalf("persistent=%v: %v", persistent, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	region, modules, schedule := writeFiles(t)
+	if err := run("/nonexistent", modules, schedule, false, time.Second, 0, false); err == nil {
+		t.Error("missing region accepted")
+	}
+	if err := run(region, "/nonexistent", schedule, false, time.Second, 0, false); err == nil {
+		t.Error("missing modules accepted")
+	}
+	if err := run(region, modules, "/nonexistent", false, time.Second, 0, false); err == nil {
+		t.Error("missing schedule accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.spec")
+	if err := os.WriteFile(bad, []byte("use ghost\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(region, modules, bad, false, time.Second, 0, false); err == nil {
+		t.Error("bad schedule accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Netlistflow starts where the paper's flow starts: partial modules as
+// unplaced, unrouted netlists. Random technology-mapped netlists are
+// generated, packed onto the fabric's tile capacities (LUT/FF pairs per
+// CLB, one tile per BRAM/DSP primitive), expanded into design
+// alternatives, and placed. The netlists themselves never reach the
+// constraint model — only their packed shapes do, exactly as in the
+// ReCoBus-Builder flow.
+//
+// Run with: go run ./examples/netlistflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/module"
+	"repro/internal/netlist"
+	"repro/internal/render"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	target := netlist.DefaultPackingTarget()
+
+	recipes := []struct {
+		name string
+		cfg  netlist.GenConfig
+	}{
+		{"uart", netlist.GenConfig{LUTs: 90, FFs: 70}},
+		{"dma", netlist.GenConfig{LUTs: 140, FFs: 110, BRAMs: 1}},
+		{"aes", netlist.GenConfig{LUTs: 220, FFs: 150, BRAMs: 2}},
+		{"fir", netlist.GenConfig{LUTs: 120, FFs: 100, DSPs: 2}},
+	}
+
+	var mods []*module.Module
+	for _, r := range recipes {
+		nl, err := netlist.Generate(r.name, r.cfg, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		demand, err := netlist.Pack(nl, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("netlist %-5s: %3d LUT %3d FF %d BRAM %d DSP (avg fanout %.1f) -> packs to %+v\n",
+			nl.Name, nl.Count(netlist.LUT), nl.Count(netlist.FF),
+			nl.Count(netlist.BRAMCell), nl.Count(netlist.DSPCell), nl.AvgFanout(), demand)
+		m, err := netlist.ToModule(nl, target, module.AlternativeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+
+	spec := fabric.Spec{
+		Name: "netlist-28x16",
+		W:    28, H: 16,
+		BRAMColumns: []int{4, 16},
+		DSPColumns:  []int{15},
+	}
+	region := spec.MustBuild().FullRegion()
+
+	res, err := core.New(region, core.Options{}).Place(mods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no feasible placement")
+	}
+	fmt.Println("\nplacement:", res)
+	fmt.Println(render.PlacementsWithRuler(region, res.Placements))
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a small heterogeneous region, describe one module
+// with design alternatives, and let the constraint-programming placer
+// pick layouts and positions that minimise the occupied height.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/module"
+	"repro/internal/render"
+)
+
+func main() {
+	// A 20x10 region with a BRAM column at x=4 and x=14.
+	spec := fabric.Spec{Name: "quickstart", W: 20, H: 10, BRAMColumns: []int{4, 14}}
+	region := spec.MustBuild().FullRegion()
+
+	// Three modules; each carries four functionally equivalent layouts
+	// (base, 180° rotation, internal and external variants).
+	var mods []*module.Module
+	for i, d := range []module.Demand{
+		{CLB: 12, BRAM: 2},
+		{CLB: 16},
+		{CLB: 9, BRAM: 1},
+	} {
+		m, err := module.GenerateAlternatives(fmt.Sprintf("mod%d", i), d, module.AlternativeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mods = append(mods, m)
+		fmt.Println(render.ShapeAlternatives(m))
+	}
+
+	res, err := core.New(region, core.Options{}).Place(mods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no feasible placement")
+	}
+	fmt.Println("placement:", res)
+	fmt.Println(render.PlacementsWithRuler(region, res.Placements))
+}

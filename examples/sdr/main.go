@@ -1,0 +1,82 @@
+// Sdr places a software-defined-radio module library: demodulators that
+// are swapped at run time depending on the active waveform, plus fixed
+// front-end modules, all attached to a ReCoBus on row 0. The example
+// sweeps the number of design alternatives per module and reports how
+// utilization of the reconfigurable region responds — the paper's
+// headline effect on a concrete system.
+//
+// Run with: go run ./examples/sdr
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/module"
+	"repro/internal/render"
+)
+
+var library = []struct {
+	name   string
+	demand module.Demand
+}{
+	{"ddc", module.Demand{CLB: 22, BRAM: 2}},     // digital down-converter
+	{"fir", module.Demand{CLB: 18, BRAM: 1}},     // channel filter
+	{"fft", module.Demand{CLB: 28, BRAM: 3}},     // spectral front end
+	{"psk_demod", module.Demand{CLB: 14}},        // PSK demodulator
+	{"fm_demod", module.Demand{CLB: 10}},         // FM demodulator
+	{"viterbi", module.Demand{CLB: 26, BRAM: 1}}, // decoder
+}
+
+func main() {
+	spec := fabric.Spec{
+		Name: "sdr-36x18",
+		W:    36, H: 18,
+		BRAMColumns: []int{5, 17, 29},
+		DSPColumns:  []int{16},
+	}
+	region := spec.MustBuild().FullRegion()
+	// Two bus lanes: four of the six modules demand a BRAM column, and
+	// the region has three such columns, so a single bus row could not
+	// host them all (two BRAM modules would need the same column).
+	busRows := []int{0, 9}
+
+	fmt.Printf("SDR region: %dx%d (%s), bus at rows %v\n\n",
+		region.W(), region.H(), region.Histogram(), busRows)
+
+	var best *core.Result
+	for _, alts := range []int{1, 2, 4} {
+		var mods []*module.Module
+		for _, e := range library {
+			m, err := module.GenerateAlternatives(e.name, e.demand,
+				module.AlternativeOptions{Count: alts})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mods = append(mods, m)
+		}
+		placer := core.New(region, core.Options{
+			Timeout:    10 * time.Second,
+			StallNodes: 3000,
+			BusRows:    busRows,
+		})
+		res, err := placer.Place(mods)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found {
+			log.Fatalf("alts=%d: no feasible placement", alts)
+		}
+		occ := res.Occupancy(region)
+		fmt.Printf("alternatives=%d: %v, fragmentation=%.2f\n",
+			alts, res, metrics.Fragmentation(region, occ))
+		best = res
+	}
+
+	fmt.Println("\nfinal floorplan (4 alternatives per module):")
+	fmt.Println(render.PlacementsWithRuler(region, best.Placements))
+}

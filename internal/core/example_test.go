@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/module"
+)
+
+// Example places two polymorphic modules optimally on a small region.
+func Example() {
+	region := fabric.Homogeneous(4, 8).FullRegion()
+
+	bar := func(name string) *module.Module {
+		m, err := module.GenerateAlternatives(name, module.Demand{CLB: 4},
+			module.AlternativeOptions{Count: 2, BaseWidth: 4, WidthDeltas: []int{-3}})
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+
+	res, err := core.New(region, core.Options{}).Place([]*module.Module{bar("a"), bar("b")})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("found=%v optimal=%v height=%d util=%.0f%%\n",
+		res.Found, res.Optimal, res.Height, res.Utilization*100)
+	// Output:
+	// found=true optimal=true height=2 util=100%
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/csp"
+	"repro/internal/fabric"
+	"repro/internal/geost"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/module"
+)
+
+// Strategy selects the branching-variable heuristic.
+type Strategy uint8
+
+// Branching strategies.
+const (
+	// StrategyFirstFail branches on the module with the fewest
+	// remaining placements (dynamic, the default).
+	StrategyFirstFail Strategy = iota
+	// StrategyLargestFirst branches on modules in order of decreasing
+	// minimum tile count (static).
+	StrategyLargestFirst
+	// StrategyInputOrder branches on modules in input order (static).
+	StrategyInputOrder
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFirstFail:
+		return "first-fail"
+	case StrategyLargestFirst:
+		return "largest-first"
+	case StrategyInputOrder:
+		return "input-order"
+	}
+	return "unknown"
+}
+
+// ValueOrder selects the placement-value heuristic.
+type ValueOrder uint8
+
+// Value orderings.
+const (
+	// OrderBottomLeft tries anchors bottom row first, left to right,
+	// design alternatives in declaration order (the default; it steers
+	// branch-and-bound towards low placements immediately).
+	OrderBottomLeft ValueOrder = iota
+	// OrderLexicographic tries design alternatives in declaration
+	// order, each bottom-left.
+	OrderLexicographic
+)
+
+// String names the value order.
+func (v ValueOrder) String() string {
+	switch v {
+	case OrderBottomLeft:
+		return "bottom-left"
+	case OrderLexicographic:
+		return "lexicographic"
+	}
+	return "unknown"
+}
+
+// Options configures a Placer.
+type Options struct {
+	// Timeout bounds the optimisation; the best placement found within
+	// the budget is returned (Optimal=false if the proof did not
+	// finish). Zero means no limit.
+	Timeout time.Duration
+	// Strategy is the branching-variable heuristic.
+	Strategy Strategy
+	// ValueOrder is the placement-value heuristic.
+	ValueOrder ValueOrder
+	// FirstSolutionOnly stops at the first complete placement without
+	// optimising height.
+	FirstSolutionOnly bool
+	// StallNodes, when positive, stops optimisation after this many
+	// search nodes without an improvement — the deterministic
+	// convergence criterion used to measure "solve time" in the
+	// experiments. Zero disables it.
+	StallNodes int64
+	// BusRows, when non-empty, lists the rows carrying the on-FPGA
+	// communication bus (ReCoBus-style): every module's bounding box
+	// must cross at least one bus row so the module can attach to the
+	// bus. Anchors violating this are removed up front.
+	BusRows []int
+	// StrongPropagation adds geost compulsory-part pruning to the
+	// pairwise non-overlap: objects whose remaining placements share a
+	// guaranteed footprint prune their neighbours before being
+	// assigned. More pruning per node, fewer nodes.
+	StrongPropagation bool
+}
+
+// Placer places modules onto one partial region. It holds no mutable
+// state between Place calls and is reusable, though not concurrently.
+type Placer struct {
+	region *fabric.Region
+	opts   Options
+}
+
+// New returns a placer for the given region.
+func New(region *fabric.Region, opts Options) *Placer {
+	return &Placer{region: region, opts: opts}
+}
+
+// Place computes a minimum-height placement of the modules. Modules with
+// no feasible position at all yield an error; a module set that is
+// individually placeable but jointly infeasible yields Found=false.
+func (p *Placer) Place(mods []*module.Module) (*Result, error) {
+	start := time.Now()
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("core: no modules to place")
+	}
+
+	st := csp.NewStore()
+	k := geost.New(st, p.region.W(), p.region.H())
+	objects := make([]*geost.Object, len(mods))
+	for i, m := range mods {
+		geoms := make([]geost.ShapeGeom, m.NumShapes())
+		for si, s := range m.Shapes() {
+			geoms[si] = ShapeGeomFor(p.region, s)
+			if len(p.opts.BusRows) > 0 {
+				restrictToBusRows(&geoms[si], p.opts.BusRows)
+			}
+		}
+		o, err := k.AddObject(m.Name(), geoms)
+		if err != nil {
+			return nil, fmt.Errorf("core: module %s: %w", m.Name(), err)
+		}
+		objects[i] = o
+	}
+	k.PostNonOverlap()
+	if p.opts.StrongPropagation {
+		k.PostCompulsoryNonOverlap()
+	}
+	height := k.PostHeightObjective(CapacityPrefix(p.region))
+
+	opts := csp.Options{
+		ChooseVar:   p.chooser(mods, objects),
+		OrderValues: p.valueOrderer(objects),
+		StallNodes:  p.opts.StallNodes,
+	}
+	if p.opts.Timeout > 0 {
+		opts.Deadline = start.Add(p.opts.Timeout)
+	}
+
+	res := &Result{}
+	snapshot := func(s *csp.Store, best int) {
+		res.Found = true
+		res.Height = best
+		res.Placements = res.Placements[:0]
+		for i, o := range objects {
+			sid, x, y := o.Placement()
+			res.Placements = append(res.Placements, Placement{
+				Module:     mods[i],
+				ShapeIndex: sid,
+				At:         grid.Pt(x, y),
+			})
+		}
+	}
+
+	if p.opts.FirstSolutionOnly {
+		sres, err := csp.Solve(st, k.PlaceVars(), opts, func(s *csp.Store) bool {
+			best := height.Min() // all tops assigned: max top = height min
+			snapshot(s, best)
+			return false
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes = sres.Nodes
+		res.Optimal = false
+	} else {
+		mres, err := csp.Minimize(st, k.PlaceVars(), height, opts, snapshot)
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes = mres.Nodes
+		res.Optimal = mres.Found && mres.Optimal
+		res.Stalled = mres.Stalled
+	}
+
+	res.Elapsed = time.Since(start)
+	if res.Found {
+		res.Utilization = metrics.Utilization(p.region, res.Occupancy(p.region))
+	}
+	return res, nil
+}
+
+// chooser builds the branching-variable heuristic. It always exhausts
+// the placement variables before touching auxiliary search variables
+// (the height objective): branching on the objective first would turn
+// the dive into exact-height packing and thrash.
+func (p *Placer) chooser(mods []*module.Module, objects []*geost.Object) csp.VarChooser {
+	placeVars := make([]*csp.Var, len(objects))
+	for i, o := range objects {
+		placeVars[i] = o.Place
+	}
+	var base csp.VarChooser
+	switch p.opts.Strategy {
+	case StrategyLargestFirst:
+		order := make([]int, len(mods))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return mods[order[a]].MinSize() > mods[order[b]].MinSize()
+		})
+		sorted := make([]*csp.Var, len(order))
+		for i, idx := range order {
+			sorted[i] = objects[idx].Place
+		}
+		base = func([]*csp.Var) *csp.Var { return csp.FirstUnassigned(sorted) }
+	case StrategyInputOrder:
+		base = csp.FirstUnassigned
+	default:
+		base = csp.SmallestDomain
+	}
+	return func(all []*csp.Var) *csp.Var {
+		if v := base(placeVars); v != nil {
+			return v
+		}
+		return csp.FirstUnassigned(all)
+	}
+}
+
+// restrictToBusRows clears anchors whose bounding box crosses no bus
+// row: with anchor y the box covers rows [y, y+H), so it attaches to a
+// bus at row r iff y <= r < y+H.
+func restrictToBusRows(g *geost.ShapeGeom, busRows []int) {
+	for y := 0; y < g.Valid.H(); y++ {
+		attached := false
+		for _, r := range busRows {
+			if y <= r && r < y+g.H {
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			g.Valid.SetRect(grid.RectXYWH(0, y, g.Valid.W(), 1), false)
+		}
+	}
+}
+
+// valueOrderer builds the placement-value heuristic. For bottom-left
+// ordering each object's full candidate list is pre-sorted by
+// (y, x, shape); at a node the live values are picked from that
+// permutation by a constant-time membership test.
+func (p *Placer) valueOrderer(objects []*geost.Object) csp.ValueOrderer {
+	if p.opts.ValueOrder == OrderLexicographic {
+		return csp.AscendingValues
+	}
+	perm := make(map[*csp.Var][]int, len(objects))
+	for _, o := range objects {
+		vals := o.Place.Domain().Values()
+		obj := o
+		sort.SliceStable(vals, func(a, b int) bool {
+			sa, xa, ya := obj.Decode(vals[a])
+			sb, xb, yb := obj.Decode(vals[b])
+			if ya != yb {
+				return ya < yb
+			}
+			if xa != xb {
+				return xa < xb
+			}
+			return sa < sb
+		})
+		perm[o.Place] = vals
+	}
+	return func(v *csp.Var) []int {
+		ordered, ok := perm[v]
+		if !ok {
+			return csp.AscendingValues(v)
+		}
+		dom := v.Domain()
+		out := make([]int, 0, dom.Size())
+		for _, val := range ordered {
+			if dom.Contains(val) {
+				out = append(out, val)
+				if len(out) == dom.Size() {
+					break
+				}
+			}
+		}
+		return out
+	}
+}

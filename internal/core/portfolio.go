@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/module"
+)
+
+// Portfolio runs several placer configurations concurrently on the same
+// instance and returns the best result: the lowest occupied height, ties
+// broken by higher utilization and then by configuration order (so the
+// outcome is deterministic for deterministic configurations — use
+// StallNodes rather than Timeout when reproducibility matters).
+//
+// Portfolio search exploits the complementary strengths of branching
+// heuristics: first-fail converges fast on tightly constrained
+// instances, largest-first on area-dominated ones. Each worker gets its
+// own constraint store, so workers share nothing but the inputs.
+func Portfolio(region *fabric.Region, mods []*module.Module, configs []Options) (*Result, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("core: empty portfolio")
+	}
+	results := make([]*Result, len(configs))
+	errs := make([]error, len(configs))
+	var wg sync.WaitGroup
+	for i, cfg := range configs {
+		wg.Add(1)
+		go func(i int, cfg Options) {
+			defer wg.Done()
+			results[i], errs[i] = New(region, cfg).Place(mods)
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	var best *Result
+	for i, res := range results {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: portfolio config %d: %w", i, errs[i])
+		}
+		if !res.Found {
+			continue
+		}
+		if best == nil || res.Height < best.Height ||
+			(res.Height == best.Height && res.Utilization > best.Utilization) {
+			best = res
+		}
+	}
+	if best == nil {
+		// All workers agree the instance is infeasible (or budgets
+		// expired without a solution); return the first result so the
+		// caller sees node counts.
+		return results[0], nil
+	}
+	return best, nil
+}
+
+// DefaultPortfolio returns a spread of placer configurations sharing the
+// given base options: the three branching strategies with bottom-left
+// ordering, plus first-fail with strong propagation.
+func DefaultPortfolio(base Options) []Options {
+	ff := base
+	ff.Strategy = StrategyFirstFail
+	lf := base
+	lf.Strategy = StrategyLargestFirst
+	io := base
+	io.Strategy = StrategyInputOrder
+	sp := base
+	sp.Strategy = StrategyFirstFail
+	sp.StrongPropagation = true
+	return []Options{ff, lf, io, sp}
+}

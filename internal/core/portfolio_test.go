@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/module"
+)
+
+func TestPortfolioMatchesSingleOptimum(t *testing.T) {
+	r := fabric.Homogeneous(5, 10).FullRegion()
+	mods := []*module.Module{
+		rectModule("a", 2, 2), rectModule("b", 3, 2), rectModule("c", 2, 3),
+	}
+	single, err := New(r, Options{}).Place(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Portfolio(r, mods, DefaultPortfolio(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Found || best.Height != single.Height {
+		t.Fatalf("portfolio height %d != single %d", best.Height, single.Height)
+	}
+	if err := best.Validate(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortfolioDeterministic(t *testing.T) {
+	r := fabric.Homogeneous(6, 12).FullRegion()
+	mods := []*module.Module{
+		rectModule("a", 3, 2), rectModule("b", 2, 4), rectModule("c", 4, 2),
+	}
+	cfgs := DefaultPortfolio(Options{StallNodes: 500})
+	a, err := Portfolio(r, mods, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Portfolio(r, mods, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Height != b.Height || len(a.Placements) != len(b.Placements) {
+		t.Fatal("portfolio not deterministic")
+	}
+	for i := range a.Placements {
+		if a.Placements[i].At != b.Placements[i].At ||
+			a.Placements[i].ShapeIndex != b.Placements[i].ShapeIndex {
+			t.Fatal("portfolio picked different placements across runs")
+		}
+	}
+}
+
+func TestPortfolioInfeasible(t *testing.T) {
+	r := fabric.Homogeneous(2, 3).FullRegion()
+	mods := []*module.Module{rectModule("a", 2, 2), rectModule("b", 2, 2)}
+	res, err := Portfolio(r, mods, DefaultPortfolio(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("portfolio found the impossible")
+	}
+}
+
+func TestPortfolioErrors(t *testing.T) {
+	r := fabric.Homogeneous(4, 4).FullRegion()
+	if _, err := Portfolio(r, []*module.Module{rectModule("a", 1, 1)}, nil); err == nil {
+		t.Error("empty portfolio accepted")
+	}
+	// A worker error (infeasible module) propagates.
+	if _, err := Portfolio(r, []*module.Module{rectModule("big", 9, 9)},
+		DefaultPortfolio(Options{})); err == nil {
+		t.Error("worker error swallowed")
+	}
+}
+
+func TestPortfolioConcurrentSpeed(t *testing.T) {
+	// Smoke: a portfolio over a non-trivial instance completes within
+	// the per-worker budget plus scheduling slack, i.e. workers really
+	// run concurrently rather than sequentially.
+	r := fabric.Homogeneous(10, 30).FullRegion()
+	var mods []*module.Module
+	for i := 0; i < 8; i++ {
+		mods = append(mods, rectModule(string(rune('a'+i)), 2+i%3, 2+(i+1)%3))
+	}
+	budget := 400 * time.Millisecond
+	start := time.Now()
+	res, err := Portfolio(r, mods, DefaultPortfolio(Options{Timeout: budget}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no placement")
+	}
+	if elapsed := time.Since(start); elapsed > 4*budget {
+		t.Fatalf("portfolio took %v for a %v per-worker budget: workers look sequential", elapsed, budget)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/module"
+)
+
+// Placement records where one module landed: the chosen design
+// alternative and the anchor of its bounding box in region-local
+// coordinates.
+type Placement struct {
+	Module     *module.Module
+	ShapeIndex int
+	At         grid.Point
+}
+
+// Shape returns the chosen design alternative.
+func (p Placement) Shape() *module.Shape { return p.Module.Shape(p.ShapeIndex) }
+
+// Tiles returns the absolute region tiles the placement occupies.
+func (p Placement) Tiles() []grid.Point {
+	pts := p.Shape().Points()
+	for i := range pts {
+		pts[i] = pts[i].Add(p.At)
+	}
+	return pts
+}
+
+// Bounds returns the absolute bounding box of the placement.
+func (p Placement) Bounds() grid.Rect {
+	s := p.Shape()
+	return grid.RectXYWH(p.At.X, p.At.Y, s.W(), s.H())
+}
+
+// Top returns the first row above the placement (y + height).
+func (p Placement) Top() int { return p.At.Y + p.Shape().H() }
+
+// String renders "name@(x,y)/shapeN".
+func (p Placement) String() string {
+	return fmt.Sprintf("%s@%v/shape%d", p.Module.Name(), p.At, p.ShapeIndex)
+}
+
+// Result is the outcome of a placement run.
+type Result struct {
+	// Found reports whether any complete placement was found.
+	Found bool
+	// Placements holds one entry per module (in input order) when Found.
+	Placements []Placement
+	// Height is the occupied height (maximum Top over placements).
+	Height int
+	// Utilization is the average resource utilization within the
+	// occupied extent (the paper's headline metric).
+	Utilization float64
+	// Optimal reports whether branch-and-bound proved Height optimal.
+	Optimal bool
+	// Stalled reports that optimisation stopped via the StallNodes
+	// convergence criterion rather than by exhausting the search space.
+	Stalled bool
+	// Nodes is the number of search nodes explored.
+	Nodes int64
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+}
+
+// Occupancy paints the placements into a fresh bitmap of the region's
+// dimensions.
+func (res *Result) Occupancy(r *fabric.Region) *grid.Bitmap {
+	b := grid.NewBitmap(r.W(), r.H())
+	for _, p := range res.Placements {
+		b.SetPoints(p.Tiles(), true)
+	}
+	return b
+}
+
+// String summarises the result in one line.
+func (res *Result) String() string {
+	if !res.Found {
+		return fmt.Sprintf("no placement (nodes=%d, %v)", res.Nodes, res.Elapsed)
+	}
+	opt := "anytime"
+	if res.Optimal {
+		opt = "optimal"
+	}
+	return fmt.Sprintf("height=%d util=%.1f%% (%s, nodes=%d, %v)",
+		res.Height, res.Utilization*100, opt, res.Nodes, res.Elapsed)
+}
+
+// Validate checks the paper's constraints M_a, M_b and M_c on a result:
+// every tile inside the region on a matching resource, and no two
+// placements sharing a tile. It returns nil for valid results and is
+// used by tests and as a post-solve assertion.
+func (res *Result) Validate(r *fabric.Region) error {
+	if !res.Found {
+		return nil
+	}
+	occ := grid.NewBitmap(r.W(), r.H())
+	for _, p := range res.Placements {
+		s := p.Shape()
+		for _, t := range s.Tiles() {
+			x, y := p.At.X+t.At.X, p.At.Y+t.At.Y
+			if x < 0 || y < 0 || x >= r.W() || y >= r.H() {
+				return fmt.Errorf("core: %v tile (%d,%d) outside region (violates M_a)", p, x, y)
+			}
+			if got := r.KindAt(x, y); got != t.Kind {
+				return fmt.Errorf("core: %v tile (%d,%d) on %s, needs %s (violates M_b)", p, x, y, got, t.Kind)
+			}
+			if occ.Get(x, y) {
+				return fmt.Errorf("core: %v overlaps at (%d,%d) (violates M_c)", p, x, y)
+			}
+			occ.Set(x, y, true)
+		}
+		if p.Top() > res.Height {
+			return fmt.Errorf("core: %v exceeds reported height %d", p, res.Height)
+		}
+	}
+	if top := occ.MaxSetY(); top+1 != res.Height {
+		return fmt.Errorf("core: reported height %d != occupied height %d", res.Height, top+1)
+	}
+	want := metrics.Utilization(r, occ)
+	if diff := res.Utilization - want; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("core: reported utilization %v != recomputed %v", res.Utilization, want)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package csp
+
+import "sort"
+
+// allDifferentBounds enforces pairwise difference with bounds
+// consistency via Hall-interval reasoning (Puget's algorithm, O(n²)
+// variant): if some interval [lo, hi] is saturated by exactly
+// hi−lo+1 variables whose domains lie inside it (a Hall interval), that
+// interval is removed from every other variable's bounds. This detects
+// pigeonhole infeasibility and prunes long before the forward-checking
+// filter does.
+type allDifferentBounds struct {
+	vars []*Var
+}
+
+// AllDifferentBounds posts pairwise-distinct over vars with
+// Hall-interval bounds consistency in addition to assigned-value
+// forward checking. Prefer it over AllDifferent when domains are
+// intervals and the constraint is tight (e.g. permutation problems).
+func AllDifferentBounds(st *Store, vars ...*Var) {
+	if len(vars) < 2 {
+		return
+	}
+	// Keep value-level forward checking: bounds consistency alone does
+	// not remove interior assigned values.
+	AllDifferent(st, vars...)
+	p := &allDifferentBounds{vars: vars}
+	st.Post(p, vars...)
+}
+
+func (p *allDifferentBounds) Propagate(st *Store) error {
+	if err := p.tightenMins(st); err != nil {
+		return err
+	}
+	return p.tightenMaxs(st)
+}
+
+// tightenMins finds Hall intervals scanning by upper bound and lifts the
+// minimum of variables whose range would otherwise intrude.
+func (p *allDifferentBounds) tightenMins(st *Store) error {
+	n := len(p.vars)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return p.vars[idx[a]].Max() < p.vars[idx[b]].Max()
+	})
+	// For each candidate interval start lo (a variable minimum), walk
+	// variables in max order counting how many fit inside [lo, max].
+	for _, startVar := range p.vars {
+		lo := startVar.Min()
+		count := 0
+		for _, j := range idx {
+			v := p.vars[j]
+			if v.Min() < lo {
+				continue
+			}
+			hi := v.Max()
+			count++
+			width := hi - lo + 1
+			if count > width {
+				return ErrInconsistent // pigeonhole
+			}
+			if count == width {
+				// [lo, hi] is a Hall interval: exclude it from every
+				// variable not contained in it.
+				for _, u := range p.vars {
+					if u.Min() >= lo && u.Max() <= hi {
+						continue
+					}
+					if u.Min() >= lo && u.Min() <= hi {
+						if err := st.SetMin(u, hi+1); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tightenMaxs is the mirror image of tightenMins.
+func (p *allDifferentBounds) tightenMaxs(st *Store) error {
+	n := len(p.vars)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return p.vars[idx[a]].Min() > p.vars[idx[b]].Min()
+	})
+	for _, startVar := range p.vars {
+		hi := startVar.Max()
+		count := 0
+		for _, j := range idx {
+			v := p.vars[j]
+			if v.Max() > hi {
+				continue
+			}
+			lo := v.Min()
+			count++
+			width := hi - lo + 1
+			if count > width {
+				return ErrInconsistent
+			}
+			if count == width {
+				for _, u := range p.vars {
+					if u.Min() >= lo && u.Max() <= hi {
+						continue
+					}
+					if u.Max() >= lo && u.Max() <= hi {
+						if err := st.SetMax(u, lo-1); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

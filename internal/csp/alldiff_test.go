@@ -1,0 +1,151 @@
+package csp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllDifferentBoundsHallInterval(t *testing.T) {
+	// x, y in {1,2} form a Hall interval: z must leave {1,2}.
+	st := NewStore()
+	x := st.NewVarRange("x", 1, 2)
+	y := st.NewVarRange("y", 1, 2)
+	z := st.NewVarRange("z", 1, 5)
+	AllDifferentBounds(st, x, y, z)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if z.Min() != 3 {
+		t.Fatalf("z.min = %d, want 3 (Hall interval {1,2})", z.Min())
+	}
+}
+
+func TestAllDifferentBoundsMirror(t *testing.T) {
+	// Hall interval at the top: z's max must drop below it.
+	st := NewStore()
+	x := st.NewVarRange("x", 4, 5)
+	y := st.NewVarRange("y", 4, 5)
+	z := st.NewVarRange("z", 1, 5)
+	AllDifferentBounds(st, x, y, z)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if z.Max() != 3 {
+		t.Fatalf("z.max = %d, want 3", z.Max())
+	}
+}
+
+func TestAllDifferentBoundsPigeonhole(t *testing.T) {
+	// Three variables in a two-value interval: immediate failure, no
+	// search needed (plain AllDifferent only fails after assignments).
+	st := NewStore()
+	vars := []*Var{
+		st.NewVarRange("a", 0, 1),
+		st.NewVarRange("b", 0, 1),
+		st.NewVarRange("c", 0, 1),
+	}
+	AllDifferentBounds(st, vars...)
+	if err := st.Propagate(); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v, want inconsistency at the root", err)
+	}
+}
+
+func TestAllDifferentBoundsQueensSameCounts(t *testing.T) {
+	// Replacing the column all-different with the bounds version must
+	// not change solution counts (it only prunes infeasible branches).
+	for _, n := range []int{5, 6, 7} {
+		st := NewStore()
+		q := make([]*Var, n)
+		for i := range q {
+			q[i] = st.NewVarRange("q", 0, n-1)
+		}
+		AllDifferentBounds(st, q...)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				NotEqualOffset(st, q[i], q[j], j-i)
+				NotEqualOffset(st, q[i], q[j], i-j)
+			}
+		}
+		res, err := Solve(st, q, Options{}, func(*Store) bool { return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int]int{5: 10, 6: 4, 7: 40}[n]
+		if res.Solutions != want {
+			t.Fatalf("%d-queens with bounds alldiff: %d solutions, want %d", n, res.Solutions, want)
+		}
+	}
+}
+
+func TestAllDifferentBoundsPrunesMoreThanForwardChecking(t *testing.T) {
+	// On a permutation problem the bounds version must not explore more
+	// nodes than plain forward checking.
+	count := func(bounds bool) int64 {
+		st := NewStore()
+		n := 7
+		vars := make([]*Var, n)
+		for i := range vars {
+			vars[i] = st.NewVarRange("v", 0, n-1)
+		}
+		if bounds {
+			AllDifferentBounds(st, vars...)
+		} else {
+			AllDifferent(st, vars...)
+		}
+		// A few extra interval constraints to create Hall situations.
+		for i := 0; i < 3; i++ {
+			if err := st.SetMax(vars[i], 2); err != nil {
+				panic(err)
+			}
+		}
+		res, err := Solve(st, vars, Options{}, func(*Store) bool { return true })
+		if err != nil {
+			panic(err)
+		}
+		return res.Nodes
+	}
+	fc := count(false)
+	bc := count(true)
+	if bc > fc {
+		t.Fatalf("bounds consistency explored more nodes: %d > %d", bc, fc)
+	}
+}
+
+// Property: bounds and forward-checking all-different accept exactly the
+// same complete assignments (enumeration equivalence on random
+// instances).
+func TestAllDifferentBoundsEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		lo := make([]int, n)
+		hi := make([]int, n)
+		for i := 0; i < n; i++ {
+			lo[i] = rng.Intn(4)
+			hi[i] = lo[i] + rng.Intn(4)
+		}
+		countSolutions := func(bounds bool) int {
+			st := NewStore()
+			vars := make([]*Var, n)
+			for i := range vars {
+				vars[i] = st.NewVarRange("v", lo[i], hi[i])
+			}
+			if bounds {
+				AllDifferentBounds(st, vars...)
+			} else {
+				AllDifferent(st, vars...)
+			}
+			res, err := Solve(st, vars, Options{}, func(*Store) bool { return true })
+			if err != nil {
+				panic(err)
+			}
+			return res.Solutions
+		}
+		return countSolutions(true) == countSolutions(false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

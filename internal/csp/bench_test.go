@@ -1,0 +1,76 @@
+package csp
+
+import "testing"
+
+// BenchmarkQueensFirstSolution measures raw search machinery throughput:
+// time to the first solution of 12-queens.
+func BenchmarkQueensFirstSolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := NewStore()
+		q := postQueens(st, 12)
+		res, err := Solve(st, q, Options{MaxSolutions: 1}, func(*Store) bool { return true })
+		if err != nil || res.Solutions != 1 {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkQueensCountAll measures full-tree exploration: all 92
+// solutions of 8-queens.
+func BenchmarkQueensCountAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := NewStore()
+		q := postQueens(st, 8)
+		res, err := Solve(st, q, Options{}, func(*Store) bool { return true })
+		if err != nil || res.Solutions != 92 {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkDomainClone(b *testing.B) {
+	d := NewDomainRange(0, 17279) // a Table-I-scale placement domain
+	d.Filter(func(v int) bool { return v%3 != 1 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Clone()
+	}
+}
+
+func BenchmarkDomainFilter(b *testing.B) {
+	base := NewDomainRange(0, 17279)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := base.Clone()
+		d.Filter(func(v int) bool { return v&7 != 3 })
+	}
+}
+
+func BenchmarkDomainForEach(b *testing.B) {
+	d := NewDomainRange(0, 17279)
+	d.Filter(func(v int) bool { return v%5 == 0 })
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		d.ForEach(func(int) bool { n++; return true })
+	}
+	_ = n
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	st := NewStore()
+	vars := make([]*Var, 30)
+	for i := range vars {
+		vars[i] = st.NewVarRange("v", 0, 4000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Push()
+		for _, v := range vars {
+			if err := st.SetMax(v, 2000); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st.Pop()
+	}
+}

@@ -1,0 +1,263 @@
+package csp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNotEqual(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 3)
+	y := st.NewVarRange("y", 0, 3)
+	NotEqual(st, x, y)
+	if err := st.Assign(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if y.Domain().Contains(2) {
+		t.Fatal("2 not pruned from y")
+	}
+}
+
+func TestNotEqualOffset(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 5)
+	y := st.NewVarRange("y", 0, 5)
+	NotEqualOffset(st, x, y, 2) // x != y + 2
+	if err := st.Assign(y, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Domain().Contains(3) {
+		t.Fatal("3 not pruned from x")
+	}
+}
+
+func TestLessEq(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 9)
+	y := st.NewVarRange("y", 0, 9)
+	LessEqOffset(st, x, y, 3) // x + 3 <= y
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Max() != 6 || y.Min() != 3 {
+		t.Fatalf("bounds x.max=%d y.min=%d, want 6/3", x.Max(), y.Min())
+	}
+}
+
+func TestEqualOffset(t *testing.T) {
+	st := NewStore()
+	x := st.NewVar("x", NewDomainValues(1, 4, 7))
+	y := st.NewVar("y", NewDomainValues(0, 3, 9))
+	EqualOffset(st, x, y, 1) // x = y + 1
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	// Supported pairs: x=1/y=0, x=4/y=3.
+	if x.Size() != 2 || y.Size() != 2 || x.Domain().Contains(7) || y.Domain().Contains(9) {
+		t.Fatalf("x=%v y=%v", x, y)
+	}
+}
+
+func TestAllDifferentPigeonhole(t *testing.T) {
+	st := NewStore()
+	vars := []*Var{
+		st.NewVarRange("a", 0, 1),
+		st.NewVarRange("b", 0, 1),
+		st.NewVarRange("c", 0, 1),
+	}
+	AllDifferent(st, vars...)
+	res, err := Solve(st, vars, Options{}, func(*Store) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solutions != 0 || !res.Complete {
+		t.Fatalf("pigeonhole: %d solutions, complete=%v", res.Solutions, res.Complete)
+	}
+}
+
+func TestAllDifferentEnumeration(t *testing.T) {
+	st := NewStore()
+	vars := []*Var{
+		st.NewVarRange("a", 0, 2),
+		st.NewVarRange("b", 0, 2),
+		st.NewVarRange("c", 0, 2),
+	}
+	AllDifferent(st, vars...)
+	res, err := Solve(st, vars, Options{}, func(*Store) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solutions != 6 {
+		t.Fatalf("permutations = %d, want 6", res.Solutions)
+	}
+}
+
+func TestSumBounds(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 10)
+	y := st.NewVarRange("y", 0, 10)
+	total := st.NewVarRange("t", 15, 15)
+	Sum(st, total, x, y)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Min() != 5 || y.Min() != 5 {
+		t.Fatalf("x.min=%d y.min=%d, want 5/5", x.Min(), y.Min())
+	}
+	if err := st.Assign(x, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if !y.Assigned() || y.Value() != 8 {
+		t.Fatalf("y = %v, want 8", y)
+	}
+}
+
+func TestSumInfeasible(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 2)
+	y := st.NewVarRange("y", 0, 2)
+	total := st.NewVarRange("t", 10, 10)
+	Sum(st, total, x, y)
+	if err := st.Propagate(); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	st := NewStore()
+	a := st.NewVarRange("a", 2, 7)
+	b := st.NewVarRange("b", 0, 4)
+	m := st.NewVarRange("m", 0, 100)
+	MaxOf(st, m, a, b)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Min() != 2 || m.Max() != 7 {
+		t.Fatalf("m = %v, want [2,7]", m)
+	}
+	if err := st.SetMax(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Max() != 3 || b.Max() != 3 {
+		t.Fatalf("vars not pruned by m: a=%v b=%v", a, b)
+	}
+	// Only a can reach m.min (=2 after SetMax? m.min is 2; both reach).
+	// Tighten: force b below 2 so only a supports m >= 2... then a.min
+	// must rise to m.min.
+	if err := st.SetMax(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Min() != 2 {
+		t.Fatalf("a.min = %d, want 2 (single support)", a.Min())
+	}
+}
+
+func TestMaxOfPanicsOnEmpty(t *testing.T) {
+	st := NewStore()
+	m := st.NewVarRange("m", 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MaxOf(st, m)
+}
+
+func TestElement(t *testing.T) {
+	st := NewStore()
+	idx := st.NewVarRange("i", -2, 10)
+	res := st.NewVarRange("r", 0, 100)
+	table := []int{5, 9, 5, 12}
+	Element(st, idx, table, res)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Min() != 0 || idx.Max() != 3 {
+		t.Fatalf("index not clamped: %v", idx)
+	}
+	if res.Domain().Contains(7) || !res.Domain().Contains(12) {
+		t.Fatalf("result not filtered: %v", res)
+	}
+	if err := st.Remove(res, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Domain().Contains(0) || idx.Domain().Contains(2) {
+		t.Fatalf("index values without support survived: %v", idx)
+	}
+}
+
+func TestElementPanicsOnEmptyTable(t *testing.T) {
+	st := NewStore()
+	idx := st.NewVarRange("i", 0, 1)
+	res := st.NewVarRange("r", 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Element(st, idx, nil, res)
+}
+
+func TestBinaryTable(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 3)
+	y := st.NewVarRange("y", 0, 3)
+	BinaryTable(st, x, y, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 0}})
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Domain().Contains(3) {
+		t.Fatal("x=3 has no support")
+	}
+	if err := st.Assign(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if y.Domain().Contains(0) || y.Domain().Contains(1) || y.Size() != 2 {
+		t.Fatalf("y = %v, want {2,3}", y)
+	}
+}
+
+func TestBinaryTablePanicsOnEmpty(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 1)
+	y := st.NewVarRange("y", 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BinaryTable(st, x, y, nil)
+}
+
+func TestFuncProp(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 9)
+	st.Post(FuncProp(func(s *Store) error { return s.SetMin(x, 4) }), x)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Min() != 4 {
+		t.Fatal("FuncProp did not run")
+	}
+}

@@ -1,0 +1,59 @@
+package csp
+
+import "fmt"
+
+// channelEq implements b ⇔ (x = v): the 0/1 variable b is 1 exactly when
+// x takes value v. It gives models a building block for counting and
+// conditional constraints (see the magic-series test for the canonical
+// use together with Sum).
+type channelEq struct {
+	b, x *Var
+	v    int
+}
+
+// ChannelEq posts b ⇔ (x = v), with b a 0/1 variable. It panics if b's
+// initial domain extends beyond {0, 1}: a wider domain is a modelling
+// bug, not a runtime condition.
+func ChannelEq(st *Store, b, x *Var, v int) {
+	if b.Min() < 0 || b.Max() > 1 {
+		panic(fmt.Sprintf("csp: ChannelEq boolean %s has domain %v", b.Name(), b.Domain()))
+	}
+	st.Post(&channelEq{b: b, x: x, v: v}, b, x)
+}
+
+func (p *channelEq) Propagate(st *Store) error {
+	// x decided relative to v ⇒ b decided.
+	if !p.x.Domain().Contains(p.v) {
+		if err := st.Assign(p.b, 0); err != nil {
+			return err
+		}
+	} else if xv, ok := p.x.Domain().Singleton(); ok && xv == p.v {
+		if err := st.Assign(p.b, 1); err != nil {
+			return err
+		}
+	}
+	// b decided ⇒ x constrained.
+	if bv, ok := p.b.Domain().Singleton(); ok {
+		if bv == 1 {
+			return st.Assign(p.x, p.v)
+		}
+		return st.Remove(p.x, p.v)
+	}
+	return nil
+}
+
+// Count posts total = |{i : vars[i] = v}| via one boolean channel per
+// variable plus a sum — the occurrence-counting constraint used by
+// magic-series-style models.
+func Count(st *Store, total *Var, v int, vars ...*Var) {
+	if len(vars) == 0 {
+		panic("csp: Count over no variables")
+	}
+	bs := make([]*Var, len(vars))
+	for i, x := range vars {
+		b := st.NewVarRange(fmt.Sprintf("cnt(%s=%d)", x.Name(), v), 0, 1)
+		ChannelEq(st, b, x, v)
+		bs[i] = b
+	}
+	Sum(st, total, bs...)
+}

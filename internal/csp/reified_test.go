@@ -1,0 +1,139 @@
+package csp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChannelEqForward(t *testing.T) {
+	st := NewStore()
+	b := st.NewVarRange("b", 0, 1)
+	x := st.NewVarRange("x", 0, 5)
+	ChannelEq(st, b, x, 3)
+
+	// x = 3 forces b = 1.
+	if err := st.Assign(x, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Assigned() || b.Value() != 1 {
+		t.Fatalf("b = %v, want 1", b)
+	}
+}
+
+func TestChannelEqForwardNegative(t *testing.T) {
+	st := NewStore()
+	b := st.NewVarRange("b", 0, 1)
+	x := st.NewVarRange("x", 0, 5)
+	ChannelEq(st, b, x, 3)
+	// Removing 3 from x forces b = 0.
+	if err := st.Remove(x, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Assigned() || b.Value() != 0 {
+		t.Fatalf("b = %v, want 0", b)
+	}
+}
+
+func TestChannelEqBackward(t *testing.T) {
+	st := NewStore()
+	b := st.NewVarRange("b", 0, 1)
+	x := st.NewVarRange("x", 0, 5)
+	ChannelEq(st, b, x, 3)
+	if err := st.Assign(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if !x.Assigned() || x.Value() != 3 {
+		t.Fatalf("x = %v, want 3", x)
+	}
+
+	st2 := NewStore()
+	b2 := st2.NewVarRange("b", 0, 1)
+	x2 := st2.NewVarRange("x", 0, 5)
+	ChannelEq(st2, b2, x2, 3)
+	if err := st2.Assign(b2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if x2.Domain().Contains(3) {
+		t.Fatal("x still contains the channelled value")
+	}
+}
+
+func TestChannelEqConflict(t *testing.T) {
+	st := NewStore()
+	b := st.NewVarRange("b", 1, 1) // forced true
+	x := st.NewVarRange("x", 0, 5)
+	ChannelEq(st, b, x, 3)
+	if err := st.Remove(x, 3); err != nil && !errors.Is(err, ErrInconsistent) {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v, want inconsistency", err)
+	}
+}
+
+func TestChannelEqPanicsOnWideBoolean(t *testing.T) {
+	st := NewStore()
+	b := st.NewVarRange("b", 0, 2)
+	x := st.NewVarRange("x", 0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ChannelEq(st, b, x, 1)
+}
+
+func TestCountConstraint(t *testing.T) {
+	// Three variables over {0,1,2}; require exactly two of them = 1.
+	st := NewStore()
+	vars := []*Var{
+		st.NewVarRange("a", 0, 2),
+		st.NewVarRange("b", 0, 2),
+		st.NewVarRange("c", 0, 2),
+	}
+	total := st.NewVarRange("t", 2, 2)
+	Count(st, total, 1, vars...)
+	res, err := Solve(st, vars, Options{}, func(s *Store) bool {
+		ones := 0
+		for _, v := range vars {
+			if v.Value() == 1 {
+				ones++
+			}
+		}
+		if ones != 2 {
+			t.Fatalf("solution with %d ones", ones)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Choose 2 of 3 positions for the ones (3 ways), remaining var in
+	// {0,2} (2 ways): 6 solutions.
+	if res.Solutions != 6 || !res.Complete {
+		t.Fatalf("solutions = %d, want 6", res.Solutions)
+	}
+}
+
+func TestCountPanicsOnEmpty(t *testing.T) {
+	st := NewStore()
+	total := st.NewVarRange("t", 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Count(st, total, 1)
+}

@@ -1,0 +1,251 @@
+package csp
+
+import (
+	"time"
+)
+
+// VarChooser selects the next unassigned variable to branch on, or nil
+// when all given variables are assigned.
+type VarChooser func(vars []*Var) *Var
+
+// ValueOrderer returns branching values for v in trial order. It must
+// return values from v's current domain.
+type ValueOrderer func(v *Var) []int
+
+// FirstUnassigned branches on the variables in the order given.
+func FirstUnassigned(vars []*Var) *Var {
+	for _, v := range vars {
+		if !v.Assigned() {
+			return v
+		}
+	}
+	return nil
+}
+
+// SmallestDomain implements first-fail: branch on an unassigned variable
+// with the fewest remaining values (ties broken by order).
+func SmallestDomain(vars []*Var) *Var {
+	var best *Var
+	for _, v := range vars {
+		if v.Assigned() {
+			continue
+		}
+		if best == nil || v.Size() < best.Size() {
+			best = v
+		}
+	}
+	return best
+}
+
+// AscendingValues tries domain values smallest-first.
+func AscendingValues(v *Var) []int { return v.Domain().Values() }
+
+// DescendingValues tries domain values largest-first.
+func DescendingValues(v *Var) []int {
+	vals := v.Domain().Values()
+	for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return vals
+}
+
+// Options configures search.
+type Options struct {
+	// ChooseVar selects the branching variable; default SmallestDomain.
+	ChooseVar VarChooser
+	// OrderValues orders branching values; default AscendingValues.
+	OrderValues ValueOrderer
+	// Deadline, when non-zero, aborts search afterwards; partial results
+	// (solutions found so far) remain valid.
+	Deadline time.Time
+	// MaxSolutions stops enumeration after this many solutions
+	// (0 = unlimited; Minimize ignores it).
+	MaxSolutions int
+	// StallNodes, when positive, makes Minimize stop after exploring
+	// this many nodes without improving the incumbent — a deterministic
+	// convergence criterion for anytime optimisation. Solve ignores it.
+	StallNodes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChooseVar == nil {
+		o.ChooseVar = SmallestDomain
+	}
+	if o.OrderValues == nil {
+		o.OrderValues = AscendingValues
+	}
+	return o
+}
+
+// Result summarises a search run.
+type Result struct {
+	// Solutions is the number of solutions delivered.
+	Solutions int
+	// Complete is true when the search space was exhausted (false when
+	// the deadline fired or enumeration was cut short).
+	Complete bool
+	// Nodes counts branching nodes explored.
+	Nodes int64
+}
+
+// Solve runs depth-first search over vars, invoking onSolution with the
+// store in an all-assigned, propagated state for every solution. If
+// onSolution returns false, enumeration stops early. The store is left
+// at its entry state.
+func Solve(st *Store, vars []*Var, opts Options, onSolution func(*Store) bool) (Result, error) {
+	opts = opts.withDefaults()
+	var res Result
+	if err := st.Propagate(); err != nil {
+		if err == ErrInconsistent {
+			res.Complete = true
+			return res, nil
+		}
+		return res, err
+	}
+	stop := searchRec(st, vars, &opts, &res, onSolution)
+	res.Complete = !stop
+	return res, nil
+}
+
+func deadlineHit(opts *Options) bool {
+	return !opts.Deadline.IsZero() && time.Now().After(opts.Deadline)
+}
+
+// searchRec returns true when enumeration must stop entirely (deadline
+// or solution-callback cut).
+func searchRec(st *Store, vars []*Var, opts *Options, res *Result, onSolution func(*Store) bool) bool {
+	if deadlineHit(opts) {
+		return true
+	}
+	v := opts.ChooseVar(vars)
+	if v == nil {
+		res.Solutions++
+		keepGoing := onSolution(st)
+		if !keepGoing {
+			return true
+		}
+		if opts.MaxSolutions > 0 && res.Solutions >= opts.MaxSolutions {
+			return true
+		}
+		return false
+	}
+	res.Nodes++
+	for _, val := range opts.OrderValues(v) {
+		st.Push()
+		err := st.Assign(v, val)
+		if err == nil {
+			err = st.Propagate()
+		}
+		if err == nil {
+			if stop := searchRec(st, vars, opts, res, onSolution); stop {
+				st.Pop()
+				return true
+			}
+		}
+		st.Pop()
+	}
+	return false
+}
+
+// MinimizeResult reports the outcome of a branch-and-bound run.
+type MinimizeResult struct {
+	// Found is true when at least one solution was seen.
+	Found bool
+	// Best is the objective value of the best solution.
+	Best int
+	// Optimal is true when the search proved Best optimal (search space
+	// exhausted under the final bound).
+	Optimal bool
+	// Stalled is true when the run stopped via Options.StallNodes.
+	Stalled bool
+	// Nodes counts branching nodes explored.
+	Nodes int64
+}
+
+// Minimize finds an assignment of vars minimising obj using depth-first
+// branch-and-bound: after each improving solution the objective is
+// bounded below the incumbent and search continues. onImproved (may be
+// nil) is called with the store at each improving solution so the caller
+// can snapshot the assignment. The store is restored on return.
+func Minimize(st *Store, vars []*Var, obj *Var, opts Options, onImproved func(*Store, int)) (MinimizeResult, error) {
+	opts = opts.withDefaults()
+	var res MinimizeResult
+
+	// bound is exclusive: solutions must achieve obj < bound.
+	bound := obj.Max() + 1
+	boundProp := FuncProp(func(s *Store) error {
+		return s.SetMax(obj, bound-1)
+	})
+	boundHandle := st.Post(boundProp, obj)
+
+	searchVars := vars
+	if !containsVar(vars, obj) {
+		searchVars = append(append([]*Var{}, vars...), obj)
+	}
+
+	if err := st.Propagate(); err != nil {
+		if err == ErrInconsistent {
+			res.Optimal = true // infeasible: vacuously closed
+			return res, nil
+		}
+		return res, err
+	}
+
+	var lastImproved int64
+	stopped := minimizeRec(st, searchVars, obj, &opts, &res, &bound, boundHandle, &lastImproved, onImproved)
+	res.Optimal = !stopped
+	return res, nil
+}
+
+func containsVar(vars []*Var, v *Var) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeResult, bound *int, boundHandle int, lastImproved *int64, onImproved func(*Store, int)) bool {
+	if deadlineHit(opts) {
+		return true
+	}
+	if opts.StallNodes > 0 && res.Found && res.Nodes-*lastImproved > opts.StallNodes {
+		res.Stalled = true
+		return true
+	}
+	v := opts.ChooseVar(vars)
+	if v == nil {
+		val := obj.Value()
+		if !res.Found || val < res.Best {
+			res.Found = true
+			res.Best = val
+			*bound = val
+			*lastImproved = res.Nodes
+			if onImproved != nil {
+				onImproved(st, val)
+			}
+		}
+		return false
+	}
+	res.Nodes++
+	for _, val := range opts.OrderValues(v) {
+		if deadlineHit(opts) {
+			return true
+		}
+		st.Push()
+		st.Schedule(boundHandle) // the bound may have tightened since Push
+		err := st.Assign(v, val)
+		if err == nil {
+			err = st.Propagate()
+		}
+		if err == nil {
+			if stop := minimizeRec(st, vars, obj, opts, res, bound, boundHandle, lastImproved, onImproved); stop {
+				st.Pop()
+				return true
+			}
+		}
+		st.Pop()
+	}
+	return false
+}

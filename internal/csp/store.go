@@ -1,0 +1,297 @@
+package csp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInconsistent is returned by propagation when some variable's domain
+// became empty: the current search node admits no solution.
+var ErrInconsistent = errors.New("csp: inconsistent (empty domain)")
+
+// Var is a finite-domain integer variable. Mutate its domain only
+// through Store methods so changes are trailed for backtracking and
+// watching propagators are scheduled.
+type Var struct {
+	id       int
+	name     string
+	dom      *Domain
+	watchers []int // indices into Store.props
+
+	// trailedAt is the trail level at which the current domain object
+	// was installed; a mutation at a deeper level must clone first
+	// (copy-on-write trailing).
+	trailedAt int
+}
+
+// Name returns the variable name.
+func (v *Var) Name() string { return v.name }
+
+// Domain returns the current domain for read-only inspection.
+func (v *Var) Domain() *Domain { return v.dom }
+
+// Min returns the current lower bound.
+func (v *Var) Min() int { return v.dom.Min() }
+
+// Max returns the current upper bound.
+func (v *Var) Max() int { return v.dom.Max() }
+
+// Size returns the current domain size.
+func (v *Var) Size() int { return v.dom.Size() }
+
+// Assigned reports whether the variable is fixed to a single value.
+func (v *Var) Assigned() bool { return v.dom.Size() == 1 }
+
+// Value returns the assigned value; it panics if the variable is not
+// assigned, which always indicates a solver bug.
+func (v *Var) Value() int {
+	val, ok := v.dom.Singleton()
+	if !ok {
+		panic(fmt.Sprintf("csp: Value() on unassigned %s%v", v.name, v.dom))
+	}
+	return val
+}
+
+// String renders "name{domain}".
+func (v *Var) String() string { return v.name + v.dom.String() }
+
+// Propagator is a constraint's filtering algorithm. Propagate prunes the
+// domains of the variables it watches and returns ErrInconsistent when
+// it detects unsatisfiability. Propagators must be idempotent at a
+// fixpoint and must not retain references to domains across calls.
+type Propagator interface {
+	Propagate(st *Store) error
+}
+
+type trailEntry struct {
+	v   *Var
+	dom *Domain
+	at  int
+}
+
+// Store owns variables and propagators and provides trailing (Push/Pop)
+// and fixpoint propagation. It is the solver state threaded through
+// search.
+type Store struct {
+	vars  []*Var
+	props []Propagator
+
+	queue   []int // propagator indices pending execution
+	queued  []bool
+	trail   []trailEntry
+	marks   []int // trail lengths at Push points
+	level   int
+	failed  bool
+	nPropag int64 // statistics: propagator executions
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// NewVar creates a variable with the given initial domain. The domain is
+// cloned: callers may reuse the argument.
+func (st *Store) NewVar(name string, dom *Domain) *Var {
+	if dom == nil || dom.Empty() {
+		panic("csp: NewVar with nil or empty domain")
+	}
+	v := &Var{id: len(st.vars), name: name, dom: dom.Clone(), trailedAt: 0}
+	st.vars = append(st.vars, v)
+	return v
+}
+
+// NewVarRange creates a variable with domain {lo..hi}.
+func (st *Store) NewVarRange(name string, lo, hi int) *Var {
+	return st.NewVar(name, NewDomainRange(lo, hi))
+}
+
+// Vars returns all variables in creation order.
+func (st *Store) Vars() []*Var { return st.vars }
+
+// Post registers a propagator and schedules it for an initial run. The
+// watched variables wake the propagator whenever their domain changes.
+// The returned handle can be passed to Schedule to force a re-run when
+// solver state outside the domains (such as a branch-and-bound bound)
+// changes.
+func (st *Store) Post(p Propagator, watched ...*Var) int {
+	idx := len(st.props)
+	st.props = append(st.props, p)
+	st.queued = append(st.queued, false)
+	for _, v := range watched {
+		v.watchers = append(v.watchers, idx)
+	}
+	st.enqueue(idx)
+	return idx
+}
+
+// Schedule re-enqueues the propagator with the given handle.
+func (st *Store) Schedule(handle int) { st.enqueue(handle) }
+
+func (st *Store) enqueue(idx int) {
+	if !st.queued[idx] {
+		st.queued[idx] = true
+		st.queue = append(st.queue, idx)
+	}
+}
+
+// Stats returns the number of propagator executions so far.
+func (st *Store) Stats() int64 { return st.nPropag }
+
+// ensureOwned makes v's domain writable at the current level, trailing
+// the previous domain for restoration on Pop.
+func (st *Store) ensureOwned(v *Var) {
+	if v.trailedAt == st.level {
+		return
+	}
+	st.trail = append(st.trail, trailEntry{v: v, dom: v.dom, at: v.trailedAt})
+	v.dom = v.dom.Clone()
+	v.trailedAt = st.level
+}
+
+func (st *Store) changed(v *Var) error {
+	for _, w := range v.watchers {
+		st.enqueue(w)
+	}
+	if v.dom.Empty() {
+		st.failed = true
+		return ErrInconsistent
+	}
+	return nil
+}
+
+// Remove deletes val from v's domain.
+func (st *Store) Remove(v *Var, val int) error {
+	if !v.dom.Contains(val) {
+		return nil
+	}
+	st.ensureOwned(v)
+	if v.dom.Remove(val) {
+		return st.changed(v)
+	}
+	return nil
+}
+
+// SetMin prunes v to values >= lo.
+func (st *Store) SetMin(v *Var, lo int) error {
+	if v.dom.Empty() || lo <= v.dom.Min() {
+		return nil
+	}
+	st.ensureOwned(v)
+	if v.dom.RemoveBelow(lo) {
+		return st.changed(v)
+	}
+	return nil
+}
+
+// SetMax prunes v to values <= hi.
+func (st *Store) SetMax(v *Var, hi int) error {
+	if v.dom.Empty() || hi >= v.dom.Max() {
+		return nil
+	}
+	st.ensureOwned(v)
+	if v.dom.RemoveAbove(hi) {
+		return st.changed(v)
+	}
+	return nil
+}
+
+// Assign fixes v to val; it fails if val is not in the domain.
+func (st *Store) Assign(v *Var, val int) error {
+	if !v.dom.Contains(val) {
+		st.failed = true
+		return ErrInconsistent
+	}
+	if v.dom.Size() == 1 {
+		return nil
+	}
+	st.ensureOwned(v)
+	if v.dom.KeepOnly(val) {
+		return st.changed(v)
+	}
+	return nil
+}
+
+// FilterDomain retains only the values of v for which keep returns true.
+func (st *Store) FilterDomain(v *Var, keep func(int) bool) error {
+	// Probe first so untouched domains stay shared across levels.
+	any := false
+	v.dom.ForEach(func(val int) bool {
+		if !keep(val) {
+			any = true
+			return false
+		}
+		return true
+	})
+	if !any {
+		return nil
+	}
+	st.ensureOwned(v)
+	if v.dom.Filter(keep) {
+		return st.changed(v)
+	}
+	return nil
+}
+
+// Propagate runs the propagation queue to fixpoint. On failure the queue
+// is drained and ErrInconsistent returned; the store remains usable
+// after a Pop.
+func (st *Store) Propagate() error {
+	if st.failed {
+		st.queue = st.queue[:0]
+		for i := range st.queued {
+			st.queued[i] = false
+		}
+		return ErrInconsistent
+	}
+	for len(st.queue) > 0 {
+		idx := st.queue[0]
+		st.queue = st.queue[1:]
+		st.queued[idx] = false
+		st.nPropag++
+		if err := st.props[idx].Propagate(st); err != nil {
+			st.failed = true
+			st.queue = st.queue[:0]
+			for i := range st.queued {
+				st.queued[i] = false
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Push opens a new trail level. Subsequent domain mutations are undone
+// by the matching Pop.
+func (st *Store) Push() {
+	st.marks = append(st.marks, len(st.trail))
+	st.level++
+}
+
+// Pop restores all domains to their state at the matching Push and
+// clears any pending failure.
+func (st *Store) Pop() {
+	if len(st.marks) == 0 {
+		panic("csp: Pop without Push")
+	}
+	mark := st.marks[len(st.marks)-1]
+	st.marks = st.marks[:len(st.marks)-1]
+	for i := len(st.trail) - 1; i >= mark; i-- {
+		e := st.trail[i]
+		e.v.dom = e.dom
+		e.v.trailedAt = e.at
+	}
+	st.trail = st.trail[:mark]
+	st.level--
+	st.failed = false
+	st.queue = st.queue[:0]
+	for i := range st.queued {
+		st.queued[i] = false
+	}
+}
+
+// ScheduleAll re-enqueues every propagator; used when search state
+// outside the domains (e.g. a branch-and-bound bound) changes.
+func (st *Store) ScheduleAll() {
+	for i := range st.props {
+		st.enqueue(i)
+	}
+}

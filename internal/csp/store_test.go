@@ -1,0 +1,227 @@
+package csp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStoreVarBasics(t *testing.T) {
+	st := NewStore()
+	v := st.NewVarRange("x", 1, 5)
+	if v.Name() != "x" || v.Min() != 1 || v.Max() != 5 || v.Size() != 5 {
+		t.Fatalf("var wrong: %v", v)
+	}
+	if v.Assigned() {
+		t.Fatal("fresh var assigned")
+	}
+	if err := st.Assign(v, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Assigned() || v.Value() != 3 {
+		t.Fatal("assignment failed")
+	}
+	if len(st.Vars()) != 1 {
+		t.Fatal("Vars() wrong")
+	}
+}
+
+func TestStoreNewVarClones(t *testing.T) {
+	st := NewStore()
+	dom := NewDomainRange(0, 3)
+	v := st.NewVar("x", dom)
+	dom.Remove(2)
+	if !v.Domain().Contains(2) {
+		t.Fatal("NewVar did not clone the domain")
+	}
+}
+
+func TestStoreNewVarPanics(t *testing.T) {
+	st := NewStore()
+	empty := NewDomainRange(0, 0)
+	empty.Remove(0)
+	for name, f := range map[string]func(){
+		"nil":   func() { st.NewVar("x", nil) },
+		"empty": func() { st.NewVar("x", empty) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s domain accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStoreAssignOutOfDomain(t *testing.T) {
+	st := NewStore()
+	v := st.NewVarRange("x", 1, 5)
+	if err := st.Assign(v, 9); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("Assign(9) err = %v", err)
+	}
+}
+
+func TestStorePushPopRestoresDomains(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 9)
+	y := st.NewVarRange("y", 0, 9)
+
+	st.Push()
+	if err := st.SetMin(x, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Assign(y, 2); err != nil {
+		t.Fatal(err)
+	}
+	st.Push()
+	if err := st.SetMax(x, 6); err != nil {
+		t.Fatal(err)
+	}
+	if x.Min() != 5 || x.Max() != 6 || y.Value() != 2 {
+		t.Fatal("mutations not visible")
+	}
+	st.Pop()
+	if x.Max() != 9 || x.Min() != 5 {
+		t.Fatalf("inner Pop wrong: x=%v", x)
+	}
+	st.Pop()
+	if x.Min() != 0 || x.Max() != 9 || y.Size() != 10 {
+		t.Fatalf("outer Pop wrong: x=%v y=%v", x, y)
+	}
+}
+
+func TestStorePopWithoutPushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewStore().Pop()
+}
+
+func TestStoreFailureClearsOnPop(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 3)
+	st.Push()
+	// Empty the domain: failure.
+	err := st.SetMin(x, 10)
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("expected inconsistency, got %v", err)
+	}
+	if st.Propagate() == nil {
+		t.Fatal("Propagate after failure should fail")
+	}
+	st.Pop()
+	if err := st.Propagate(); err != nil {
+		t.Fatalf("Propagate after Pop: %v", err)
+	}
+	if x.Size() != 4 {
+		t.Fatal("domain not restored")
+	}
+}
+
+// countingProp counts invocations and optionally prunes.
+type countingProp struct {
+	runs  int
+	prune func(st *Store) error
+}
+
+func (p *countingProp) Propagate(st *Store) error {
+	p.runs++
+	if p.prune != nil {
+		return p.prune(st)
+	}
+	return nil
+}
+
+func TestStorePropagationWakesWatchers(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 9)
+	y := st.NewVarRange("y", 0, 9)
+	p := &countingProp{}
+	st.Post(p, x)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.runs != 1 {
+		t.Fatalf("initial run count = %d, want 1", p.runs)
+	}
+	// Changing y does not wake p.
+	if err := st.Assign(y, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.runs != 1 {
+		t.Fatalf("unwatched change woke propagator (runs=%d)", p.runs)
+	}
+	// Changing x wakes p.
+	if err := st.Assign(x, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.runs != 2 {
+		t.Fatalf("watched change did not wake propagator (runs=%d)", p.runs)
+	}
+}
+
+func TestStorePropagationFixpoint(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 10)
+	y := st.NewVarRange("y", 0, 10)
+	// x + 1 <= y and y + 1 <= x is infeasible; the pair must detect it.
+	LessEqOffset(st, x, y, 1)
+	LessEqOffset(st, y, x, 1)
+	if err := st.Propagate(); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestStoreScheduleHandle(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 9)
+	p := &countingProp{}
+	h := st.Post(p, x)
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	st.Schedule(h)
+	st.Schedule(h) // dedup: only one queued run
+	if err := st.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.runs != 2 {
+		t.Fatalf("runs = %d, want 2", p.runs)
+	}
+	if st.Stats() < 2 {
+		t.Fatal("Stats not counting")
+	}
+}
+
+func TestStoreFilterDomainSharing(t *testing.T) {
+	st := NewStore()
+	x := st.NewVarRange("x", 0, 9)
+	st.Push()
+	// A no-op filter must not trail (copy-on-write probe).
+	before := len(st.trail)
+	if err := st.FilterDomain(x, func(int) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.trail) != before {
+		t.Fatal("no-op FilterDomain trailed a domain")
+	}
+	if err := st.FilterDomain(x, func(v int) bool { return v < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.trail) != before+1 {
+		t.Fatal("mutating FilterDomain did not trail")
+	}
+	st.Pop()
+	if x.Size() != 10 {
+		t.Fatal("Pop did not restore filtered domain")
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/module"
+	"repro/internal/workload"
+)
+
+// Row is one line of an ablation table.
+type Row struct {
+	Label string
+	Arm   Arm
+}
+
+// FormatRows renders ablation rows as a table.
+func FormatRows(title string, rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-34s %-16s %-16s %-12s %s\n",
+		"Configuration", "Mean Area Util.", "Mean Time", "Mean Height", "Failures")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-34s %5.1f%% ± %4.1f     %6.2fs ± %5.2f %8.1f     %d\n",
+			r.Label, r.Arm.Util.Mean*100, r.Arm.Util.CI95()*100,
+			r.Arm.Seconds.Mean, r.Arm.Seconds.CI95(), r.Arm.Height.Mean, r.Arm.Failures)
+	}
+	return sb.String()
+}
+
+// runArm executes the protocol for one configuration: per seeded run,
+// generate modules via gen, place them with placerOpts on region, and
+// aggregate. gen receives the run's rng.
+func runArm(cfg RunConfig, label string, region *fabric.Region,
+	placerOpts core.Options, gen func(*rand.Rand) ([]*module.Module, error)) (Arm, error) {
+
+	arm := Arm{Name: label}
+	var utils, secs, heights []float64
+	shapes := 0
+	placer := core.New(region, placerOpts)
+	for run := 0; run < cfg.Runs; run++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(run)))
+		mods, err := gen(rng)
+		if err != nil {
+			return arm, fmt.Errorf("experiments: %s run %d: %w", label, run, err)
+		}
+		res, err := measure(placer, region, mods)
+		if err != nil {
+			return arm, fmt.Errorf("experiments: %s run %d: %w", label, run, err)
+		}
+		shapes += countShapes(mods)
+		if !res.Found {
+			arm.Failures++
+			continue
+		}
+		utils = append(utils, res.Utilization)
+		secs = append(secs, res.Elapsed.Seconds())
+		heights = append(heights, float64(res.Height))
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%s run %d/%d: %v\n", label, run+1, cfg.Runs, res)
+		}
+	}
+	arm.Util = metrics.Summarize(utils)
+	arm.Seconds = metrics.Summarize(secs)
+	arm.Height = metrics.Summarize(heights)
+	arm.Shapes = float64(shapes) / float64(cfg.Runs)
+	return arm, nil
+}
+
+func (c RunConfig) placerOptions() core.Options {
+	return core.Options{Timeout: c.Timeout, StallNodes: c.StallNodes}
+}
+
+// AlternativeCountSweep measures utilization and solve time as the
+// number of design alternatives per module grows — the knob behind the
+// paper's 53%→65% / 2.55s→10.82s trade-off.
+func AlternativeCountSweep(cfg RunConfig, counts []int) ([]Row, error) {
+	cfg = cfg.defaults()
+	rows := make([]Row, 0, len(counts))
+	for _, k := range counts {
+		wl := cfg.Workload
+		wl.Alternatives = k
+		arm, err := runArm(cfg, fmt.Sprintf("%d alternatives", k), cfg.Region,
+			cfg.placerOptions(), func(rng *rand.Rand) ([]*module.Module, error) {
+				return workload.Generate(wl, rng)
+			})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{Label: arm.Name, Arm: arm})
+	}
+	return rows, nil
+}
+
+// HeterogeneitySweep places the same CLB-only workload on a homogeneous
+// fabric and on the heterogeneous Table-I fabric of identical size: the
+// dedicated-resource columns restrict placement and cost utilization,
+// motivating the paper's heterogeneity-aware model.
+func HeterogeneitySweep(cfg RunConfig) ([]Row, error) {
+	cfg = cfg.defaults()
+	wl := cfg.Workload
+	wl.NoBRAM = true
+	gen := func(rng *rand.Rand) ([]*module.Module, error) { return workload.Generate(wl, rng) }
+
+	homo := fabric.Homogeneous(cfg.Region.W(), cfg.Region.H()).FullRegion()
+	rows := make([]Row, 0, 2)
+	armH, err := runArm(cfg, "homogeneous fabric", homo, cfg.placerOptions(), gen)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Label: armH.Name, Arm: armH})
+	armX, err := runArm(cfg, "heterogeneous fabric", cfg.Region, cfg.placerOptions(), gen)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Label: armX.Name, Arm: armX})
+	return rows, nil
+}
+
+// MaskedCLBPerBRAM is the logic-area cost of implementing one embedded
+// memory block out of CLBs when dedicated resources are masked out
+// ([9]-style relocatability), following the FPGA-vs-dedicated-block area
+// gap reported by Kuon & Rose [2].
+const MaskedCLBPerBRAM = 8
+
+// MaskedResourcesComparison contrasts modules that use dedicated BRAM
+// columns with [9]-style masked modules that avoid them (paying
+// MaskedCLBPerBRAM extra CLBs per masked block): masking increases
+// demand and leaves dedicated columns idle, which is the paper's case
+// against it.
+func MaskedResourcesComparison(cfg RunConfig) ([]Row, error) {
+	cfg = cfg.defaults()
+	wl := cfg.Workload.Defaults()
+
+	drawDemands := func(rng *rand.Rand) []module.Demand {
+		ds := make([]module.Demand, wl.NumModules)
+		for i := range ds {
+			ds[i] = module.Demand{
+				CLB:  wl.CLBMin + rng.Intn(wl.CLBMax-wl.CLBMin+1),
+				BRAM: wl.BRAMMin + rng.Intn(wl.BRAMMax-wl.BRAMMin+1),
+			}
+		}
+		return ds
+	}
+	build := func(ds []module.Demand, mask bool) ([]*module.Module, error) {
+		mods := make([]*module.Module, len(ds))
+		for i, d := range ds {
+			opts := module.AlternativeOptions{Count: wl.Alternatives}
+			if mask {
+				d = module.Demand{CLB: d.CLB + MaskedCLBPerBRAM*d.BRAM}
+				// Masked modules can outgrow the fabric's CLB gaps; cap
+				// the bounding-box width at the widest placeable body.
+				if module.BalancedWidth(d) > 10 {
+					opts.BaseWidth = 10
+				}
+			}
+			m, err := module.GenerateAlternatives(fmt.Sprintf("m%02d", i), d, opts)
+			if err != nil {
+				return nil, err
+			}
+			mods[i] = m
+		}
+		return mods, nil
+	}
+
+	rows := make([]Row, 0, 2)
+	native, err := runArm(cfg, "native (uses BRAM columns)", cfg.Region, cfg.placerOptions(),
+		func(rng *rand.Rand) ([]*module.Module, error) { return build(drawDemands(rng), false) })
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Label: native.Name, Arm: native})
+	masked, err := runArm(cfg, "masked [9] (CLB-only modules)", cfg.Region, cfg.placerOptions(),
+		func(rng *rand.Rand) ([]*module.Module, error) { return build(drawDemands(rng), true) })
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Label: masked.Name, Arm: masked})
+	return rows, nil
+}
+
+// StrategySweep compares the placer's branching strategies and value
+// orderings on the Table-I workload.
+func StrategySweep(cfg RunConfig) ([]Row, error) {
+	cfg = cfg.defaults()
+	gen := func(rng *rand.Rand) ([]*module.Module, error) {
+		return workload.Generate(cfg.Workload, rng)
+	}
+	var rows []Row
+	for _, s := range []core.Strategy{core.StrategyFirstFail, core.StrategyLargestFirst, core.StrategyInputOrder} {
+		for _, v := range []core.ValueOrder{core.OrderBottomLeft, core.OrderLexicographic} {
+			opts := cfg.placerOptions()
+			opts.Strategy = s
+			opts.ValueOrder = v
+			label := s.String() + " / " + v.String()
+			arm, err := runArm(cfg, label, cfg.Region, opts, gen)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{Label: label, Arm: arm})
+		}
+	}
+	return rows, nil
+}
+
+// BaselineComparison measures the heuristic placers against the CP
+// placer on the Table-I workload, with design alternatives available to
+// every contender.
+func BaselineComparison(cfg RunConfig) ([]Row, error) {
+	cfg = cfg.defaults()
+	var rows []Row
+
+	cpArm, err := runArm(cfg, "constraint programming", cfg.Region, cfg.placerOptions(),
+		func(rng *rand.Rand) ([]*module.Module, error) {
+			return workload.Generate(cfg.Workload, rng)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Label: cpArm.Name, Arm: cpArm})
+
+	for _, alg := range baseline.Algorithms() {
+		arm := Arm{Name: alg.String()}
+		var utils, secs, heights []float64
+		for run := 0; run < cfg.Runs; run++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(run)))
+			mods, err := workload.Generate(cfg.Workload, rng)
+			if err != nil {
+				return nil, err
+			}
+			res, err := baseline.Place(cfg.Region, mods, alg, baseline.Options{
+				UseAlternatives: true,
+				Seed:            cfg.Seed + int64(run),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := res.Validate(cfg.Region); err != nil {
+				return nil, err
+			}
+			if !res.Found {
+				arm.Failures++
+				continue
+			}
+			utils = append(utils, res.Utilization)
+			secs = append(secs, res.Elapsed.Seconds())
+			heights = append(heights, float64(res.Height))
+		}
+		arm.Util = metrics.Summarize(utils)
+		arm.Seconds = metrics.Summarize(secs)
+		arm.Height = metrics.Summarize(heights)
+		rows = append(rows, Row{Label: arm.Name, Arm: arm})
+	}
+	return rows, nil
+}

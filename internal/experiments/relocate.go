@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/module"
+	"repro/internal/recobus"
+)
+
+// RelocationRow aggregates bitstream-relocatability statistics for one
+// module population.
+type RelocationRow struct {
+	Label string
+	// Classes is the per-shape count of relocation classes (bitstreams
+	// needed to cover all anchors).
+	Classes metrics.Summary
+	// Coverage is the per-shape fraction of anchors served by the
+	// single best bitstream.
+	Coverage metrics.Summary
+	// Anchors is the per-shape valid-anchor count.
+	Anchors metrics.Summary
+}
+
+// FormatRelocationRows renders the relocatability comparison.
+func FormatRelocationRows(title string, rows []RelocationRow) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-28s %-18s %-22s %s\n",
+		"Modules", "Mean Classes", "One-Bitstream Cover", "Mean Anchors")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %6.1f ± %4.1f      %6.1f%% ± %4.1f        %7.1f\n",
+			r.Label, r.Classes.Mean, r.Classes.CI95(),
+			r.Coverage.Mean*100, r.Coverage.CI95()*100, r.Anchors.Mean)
+	}
+	return sb.String()
+}
+
+// RelocationComparison quantifies the [9] trade-off on the Table-I
+// region: native modules (using BRAM columns) need many stored
+// bitstreams to exploit their anchors, while masked CLB-only modules
+// are far more relocatable — the benefit the paper weighs against the
+// area cost measured by MaskedResourcesComparison.
+func RelocationComparison(cfg RunConfig) ([]RelocationRow, error) {
+	cfg = cfg.defaults()
+	kinds := []struct {
+		label string
+		mask  bool
+	}{
+		{"native (uses BRAM columns)", false},
+		{"masked [9] (CLB-only)", true},
+	}
+	acc := make([]struct{ classes, coverage, anchors []float64 }, len(kinds))
+
+	wl := cfg.Workload.Defaults()
+	for run := 0; run < cfg.Runs; run++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(run)))
+		for i := 0; i < wl.NumModules; i++ {
+			d := module.Demand{
+				CLB:  wl.CLBMin + rng.Intn(wl.CLBMax-wl.CLBMin+1),
+				BRAM: wl.BRAMMin + rng.Intn(wl.BRAMMax-wl.BRAMMin+1),
+			}
+			for ki, kind := range kinds {
+				dd := d
+				opts := module.AlternativeOptions{Count: 1}
+				if kind.mask {
+					dd = module.Demand{CLB: d.CLB + MaskedCLBPerBRAM*d.BRAM}
+					if module.BalancedWidth(dd) > 10 {
+						opts.BaseWidth = 10
+					}
+				}
+				m, err := module.GenerateAlternatives(fmt.Sprintf("m%02d", i), dd, opts)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: relocation run %d: %w", run, err)
+				}
+				sum := recobus.SummarizeRelocation(cfg.Region, m.Shape(0))
+				if sum.Anchors == 0 {
+					continue // unplaceable draw; excluded from both stats
+				}
+				acc[ki].classes = append(acc[ki].classes, float64(sum.Classes))
+				acc[ki].coverage = append(acc[ki].coverage, sum.Ratio())
+				acc[ki].anchors = append(acc[ki].anchors, float64(sum.Anchors))
+			}
+		}
+	}
+
+	rows := make([]RelocationRow, len(kinds))
+	for ki, kind := range kinds {
+		rows[ki] = RelocationRow{
+			Label:    kind.label,
+			Classes:  metrics.Summarize(acc[ki].classes),
+			Coverage: metrics.Summarize(acc[ki].coverage),
+			Anchors:  metrics.Summarize(acc[ki].anchors),
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/module"
+	"repro/internal/rtsim"
+	"repro/internal/workload"
+)
+
+// ScheduleRow aggregates one planning mode over the runs.
+type ScheduleRow struct {
+	Label string
+	// Overhead is the reconfiguration fraction of total time.
+	Overhead metrics.Summary
+	// SwitchMS is the total switch time per run in milliseconds.
+	SwitchMS metrics.Summary
+	// Util is the mean per-phase utilization.
+	Util metrics.Summary
+}
+
+// FormatScheduleRows renders the schedule comparison.
+func FormatScheduleRows(title string, rows []ScheduleRow) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-14s %-20s %-20s %s\n",
+		"Planning", "Reconfig Overhead", "Switch Time", "Mean Phase Util.")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %6.2f%% ± %5.2f      %6.2fms ± %5.2f     %5.1f%% ± %4.1f\n",
+			r.Label, r.Overhead.Mean*100, r.Overhead.CI95()*100,
+			r.SwitchMS.Mean, r.SwitchMS.CI95(), r.Util.Mean*100, r.Util.CI95()*100)
+	}
+	return sb.String()
+}
+
+// ScheduleComparison plans seeded multi-phase reconfiguration schedules
+// in fresh and persistent mode and aggregates reconfiguration overhead:
+// the runtime consequence of the offline placements the paper computes
+// in advance. Each run draws a pool of modules and four phases that
+// each keep roughly half of their predecessor's modules.
+func ScheduleComparison(cfg RunConfig) ([]ScheduleRow, error) {
+	cfg = cfg.defaults()
+	modes := []struct {
+		label      string
+		persistent bool
+	}{
+		{"fresh", false},
+		{"persistent", true},
+	}
+	acc := make([]struct{ overhead, switchMS, util []float64 }, len(modes))
+
+	for run := 0; run < cfg.Runs; run++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(run)))
+		pool, err := workload.Generate(workload.Config{
+			NumModules: 12,
+			CLBMin:     10, CLBMax: 40,
+			BRAMMax:      2,
+			Alternatives: 4,
+		}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: schedule run %d: %w", run, err)
+		}
+		phases := drawPhases(pool, rng)
+		for mi, mode := range modes {
+			opts := rtsim.Options{
+				Placer:     cfg.placerOptions(),
+				Persistent: mode.persistent,
+			}
+			tl, err := rtsim.Plan(cfg.Region, phases, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: schedule run %d (%s): %w", run, mode.label, err)
+			}
+			acc[mi].overhead = append(acc[mi].overhead, tl.Overhead())
+			acc[mi].switchMS = append(acc[mi].switchMS, float64(tl.TotalSwitch)/float64(time.Millisecond))
+			for _, p := range tl.Plans {
+				acc[mi].util = append(acc[mi].util, p.Result.Utilization)
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "schedule run %d/%d %s: overhead=%.2f%%\n",
+					run+1, cfg.Runs, mode.label, tl.Overhead()*100)
+			}
+		}
+	}
+
+	rows := make([]ScheduleRow, len(modes))
+	for mi, mode := range modes {
+		rows[mi] = ScheduleRow{
+			Label:    mode.label,
+			Overhead: metrics.Summarize(acc[mi].overhead),
+			SwitchMS: metrics.Summarize(acc[mi].switchMS),
+			Util:     metrics.Summarize(acc[mi].util),
+		}
+	}
+	return rows, nil
+}
+
+// drawPhases builds a 4-phase cyclic schedule over the pool: each phase
+// holds 6 modules and shares about half with its predecessor.
+func drawPhases(pool []*module.Module, rng *rand.Rand) []rtsim.Phase {
+	const phaseSize = 6
+	phases := make([]rtsim.Phase, 0, 4)
+	cur := append([]*module.Module{}, pool[:phaseSize]...)
+	for i := 0; i < 4; i++ {
+		mods := append([]*module.Module{}, cur...)
+		phases = append(phases, rtsim.Phase{
+			Name:    fmt.Sprintf("phase%d", i),
+			Modules: mods,
+			Dwell:   40 * time.Millisecond,
+		})
+		// Next phase: keep a random half, refill from the pool.
+		rng.Shuffle(len(cur), func(a, b int) { cur[a], cur[b] = cur[b], cur[a] })
+		cur = cur[:phaseSize/2]
+		for _, m := range pool {
+			if len(cur) == phaseSize {
+				break
+			}
+			dup := false
+			for _, have := range cur {
+				if have.Name() == m.Name() {
+					dup = true
+					break
+				}
+			}
+			if !dup && rng.Intn(2) == 0 {
+				cur = append(cur, m)
+			}
+		}
+		// Deterministic fallback fill if the coin flips left gaps.
+		for _, m := range pool {
+			if len(cur) == phaseSize {
+				break
+			}
+			dup := false
+			for _, have := range cur {
+				if have.Name() == m.Name() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cur = append(cur, m)
+			}
+		}
+	}
+	return phases
+}

@@ -1,0 +1,37 @@
+package fabric_test
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// ExampleSpec builds a small heterogeneous device from a column spec.
+func ExampleSpec() {
+	spec := fabric.Spec{
+		Name: "demo", W: 8, H: 4,
+		BRAMColumns:    []int{2},
+		ClockRowPeriod: 2,
+	}
+	dev := spec.MustBuild()
+	fmt.Println(dev.Histogram())
+	fmt.Println(dev)
+	// Output:
+	// CLB:28 BRAM:2 CLK:2
+	// cckccccc
+	// ccbccccc
+	// cckccccc
+	// ccbccccc
+}
+
+// ExampleByName pulls a device from the predefined catalog.
+func ExampleByName() {
+	dev, err := fabric.ByName("spartan-like-24x16")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %dx%d, %d placeable tiles\n",
+		dev.Name(), dev.W(), dev.H(), dev.Histogram().Placeable())
+	// Output:
+	// homogeneous-24x16: 24x16, 384 placeable tiles
+}

@@ -1,0 +1,184 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Spec describes a column-structured device family. Synthetic devices
+// are generated from a Spec the way real FPGA floorplans are laid out:
+// a base sea of CLB columns with dedicated-resource columns inserted at
+// given x positions, optional IOB rings, and clock tiles either as a
+// dedicated column or interrupting resource columns at a fixed row
+// period (the irregularity the paper highlights in modern devices).
+type Spec struct {
+	Name string
+	W, H int
+
+	// BRAMColumns and DSPColumns list the x positions of embedded
+	// memory and multiplier columns.
+	BRAMColumns []int
+	DSPColumns  []int
+
+	// ClockColumns lists x positions of full-height clock columns
+	// (e.g. the centre clock spine of Virtex devices).
+	ClockColumns []int
+
+	// ClockRowPeriod, when positive, replaces every tile at rows
+	// y ≡ ClockRowPeriod-1 (mod ClockRowPeriod) inside BRAM and DSP
+	// columns with a Clock tile, modelling the clock-management tiles
+	// that interrupt resource columns on current-generation fabrics.
+	ClockRowPeriod int
+
+	// IOBRing, when true, turns the leftmost and rightmost columns
+	// into IOB columns.
+	IOBRing bool
+}
+
+// Validate reports the first inconsistency in the spec, or nil.
+func (s *Spec) Validate() error {
+	if s.W <= 0 || s.H <= 0 {
+		return fmt.Errorf("fabric: spec %q has invalid size %dx%d", s.Name, s.W, s.H)
+	}
+	check := func(what string, cols []int) error {
+		for _, x := range cols {
+			if x < 0 || x >= s.W {
+				return fmt.Errorf("fabric: spec %q: %s column %d outside [0,%d)", s.Name, what, x, s.W)
+			}
+		}
+		return nil
+	}
+	if err := check("BRAM", s.BRAMColumns); err != nil {
+		return err
+	}
+	if err := check("DSP", s.DSPColumns); err != nil {
+		return err
+	}
+	if err := check("clock", s.ClockColumns); err != nil {
+		return err
+	}
+	if s.ClockRowPeriod < 0 {
+		return fmt.Errorf("fabric: spec %q: negative clock row period", s.Name)
+	}
+	return nil
+}
+
+// Build materialises the spec into a Device. Column kinds are resolved
+// in priority order clock > BRAM > DSP > IOB > CLB; clock-row
+// interruptions apply to BRAM/DSP columns only.
+func (s *Spec) Build() (*Device, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	colKind := make([]Kind, s.W)
+	for x := range colKind {
+		colKind[x] = CLB
+	}
+	if s.IOBRing && s.W >= 2 {
+		colKind[0] = IOB
+		colKind[s.W-1] = IOB
+	}
+	for _, x := range s.DSPColumns {
+		colKind[x] = DSP
+	}
+	for _, x := range s.BRAMColumns {
+		colKind[x] = BRAM
+	}
+	for _, x := range s.ClockColumns {
+		colKind[x] = Clock
+	}
+	at := func(x, y int) Kind {
+		k := colKind[x]
+		if s.ClockRowPeriod > 0 && (k == BRAM || k == DSP) &&
+			y%s.ClockRowPeriod == s.ClockRowPeriod-1 {
+			return Clock
+		}
+		return k
+	}
+	return NewDevice(s.Name, s.W, s.H, at), nil
+}
+
+// MustBuild is Build panicking on error; for statically known specs.
+func (s *Spec) MustBuild() *Device {
+	d, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Homogeneous returns a device consisting solely of CLB tiles: the
+// homogeneous xy-plane model of earlier placement literature, used here
+// as the heterogeneity-ablation fabric.
+func Homogeneous(w, h int) *Device {
+	return NewDevice(fmt.Sprintf("homogeneous-%dx%d", w, h), w, h,
+		func(x, y int) Kind { return CLB })
+}
+
+// VirtexLike returns a previous-generation style device: dedicated
+// resource columns regularly aligned (a BRAM column every 12 columns,
+// a DSP column every 24, offset by 6), an IOB ring, and a centre clock
+// column. This mirrors the "regularly aligned in columns" layout the
+// paper attributes to earlier FPGA generations.
+func VirtexLike(w, h int) *Device {
+	spec := Spec{
+		Name:    fmt.Sprintf("virtexlike-%dx%d", w, h),
+		W:       w,
+		H:       h,
+		IOBRing: true,
+	}
+	for x := 6; x < w-1; x += 12 {
+		spec.BRAMColumns = append(spec.BRAMColumns, x)
+	}
+	for x := 12; x < w-1; x += 24 {
+		spec.DSPColumns = append(spec.DSPColumns, x)
+	}
+	if w >= 8 {
+		spec.ClockColumns = []int{w / 2}
+	}
+	return spec.MustBuild()
+}
+
+// IrregularVirtexLike returns a current-generation style device: the
+// same resource mix as VirtexLike but with the dedicated columns spread
+// irregularly (seeded), and with clock tiles interrupting the BRAM/DSP
+// columns every 16 rows. This is the heterogeneous, irregular fabric the
+// paper's placement model is designed for.
+func IrregularVirtexLike(w, h int, seed int64) *Device {
+	rng := rand.New(rand.NewSource(seed))
+	spec := Spec{
+		Name:           fmt.Sprintf("irregular-%dx%d-s%d", w, h, seed),
+		W:              w,
+		H:              h,
+		IOBRing:        true,
+		ClockRowPeriod: 16,
+	}
+	if w >= 8 {
+		spec.ClockColumns = []int{w / 2}
+	}
+	// Choose about w/12 BRAM columns and w/24 DSP columns at distinct
+	// irregular positions, keeping clear of the IOB ring and the clock
+	// spine.
+	nBRAM := w / 12
+	nDSP := w / 24
+	used := map[int]bool{0: true, w - 1: true, w / 2: true}
+	pick := func() int {
+		for {
+			x := 1 + rng.Intn(w-2)
+			if !used[x] {
+				used[x] = true
+				return x
+			}
+		}
+	}
+	for i := 0; i < nBRAM; i++ {
+		spec.BRAMColumns = append(spec.BRAMColumns, pick())
+	}
+	for i := 0; i < nDSP; i++ {
+		spec.DSPColumns = append(spec.DSPColumns, pick())
+	}
+	sort.Ints(spec.BRAMColumns)
+	sort.Ints(spec.DSPColumns)
+	return spec.MustBuild()
+}

@@ -1,0 +1,96 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// FrameModel describes the configuration-memory geometry of a device
+// family, used to estimate partial-reconfiguration cost. Xilinx-style
+// devices are configured column-wise in frames: rewriting any tile of a
+// column touches every frame of that column within the affected clock
+// region rows.
+//
+// The model is deliberately simple — frames per column by kind, bytes
+// per frame, and configuration-port bandwidth — which is all the
+// bitstream-assembly substrate needs to reproduce the paper's
+// reconfiguration-overhead framing.
+type FrameModel struct {
+	// FramesPerColumn maps a resource kind to the number of
+	// configuration frames a column of that kind occupies per row of
+	// tiles.
+	FramesPerColumn map[Kind]int
+	// FrameBytes is the size of one configuration frame.
+	FrameBytes int
+	// PortBytesPerSecond is the configuration port bandwidth (e.g.
+	// ICAP at 32 bit × 100 MHz = 400e6 bytes/s).
+	PortBytesPerSecond int
+}
+
+// DefaultFrameModel returns frame geometry loosely modelled on
+// Virtex-4-class devices: logic columns are cheap, BRAM content frames
+// are heavy, and the ICAP moves 400 MB/s.
+func DefaultFrameModel() FrameModel {
+	return FrameModel{
+		FramesPerColumn: map[Kind]int{
+			CLB:   22,
+			DSP:   21,
+			BRAM:  64,
+			IOB:   30,
+			Clock: 4,
+		},
+		FrameBytes:         164,
+		PortBytesPerSecond: 400_000_000,
+	}
+}
+
+// FrameCount returns the number of configuration frames needed to
+// reconfigure the given rectangle of the region: for every column the
+// rectangle touches, the per-kind frame count of that column, scaled by
+// the fraction of rows covered (rounded up to whole frames).
+func (m FrameModel) FrameCount(r *Region, area grid.Rect) int {
+	area = area.Intersect(r.Bounds())
+	if area.Empty() {
+		return 0
+	}
+	frames := 0
+	for x := area.MinX; x < area.MaxX; x++ {
+		// A column may hold mixed kinds (clock-interrupted columns);
+		// charge the most expensive kind present in the covered rows.
+		perRow := 0
+		for y := area.MinY; y < area.MaxY; y++ {
+			if c := m.FramesPerColumn[r.KindAt(x, y)]; c > perRow {
+				perRow = c
+			}
+		}
+		frames += perRow * area.H()
+	}
+	return frames
+}
+
+// ReconfigTime converts a frame count into configuration-port time.
+func (m FrameModel) ReconfigTime(frames int) time.Duration {
+	if m.PortBytesPerSecond <= 0 {
+		return 0
+	}
+	bytes := frames * m.FrameBytes
+	return time.Duration(float64(bytes) / float64(m.PortBytesPerSecond) * float64(time.Second))
+}
+
+// Validate reports the first inconsistency in the model, or nil.
+func (m FrameModel) Validate() error {
+	if m.FrameBytes <= 0 {
+		return fmt.Errorf("fabric: frame model has non-positive frame size %d", m.FrameBytes)
+	}
+	if m.PortBytesPerSecond <= 0 {
+		return fmt.Errorf("fabric: frame model has non-positive bandwidth %d", m.PortBytesPerSecond)
+	}
+	for k, c := range m.FramesPerColumn {
+		if c < 0 {
+			return fmt.Errorf("fabric: negative frame count for %s", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestDefaultFrameModelValid(t *testing.T) {
+	m := DefaultFrameModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestFrameModelValidate(t *testing.T) {
+	bad := []FrameModel{
+		{FrameBytes: 0, PortBytesPerSecond: 1},
+		{FrameBytes: 10, PortBytesPerSecond: 0},
+		{FrameBytes: 10, PortBytesPerSecond: 1, FramesPerColumn: map[Kind]int{CLB: -1}},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("model %d should be invalid", i)
+		}
+	}
+}
+
+func TestFrameCount(t *testing.T) {
+	d := stripeDevice() // col 3 BRAM, col 6 DSP, rest CLB; 8x4
+	r := d.FullRegion()
+	m := FrameModel{
+		FramesPerColumn:    map[Kind]int{CLB: 2, BRAM: 10, DSP: 5},
+		FrameBytes:         100,
+		PortBytesPerSecond: 1000,
+	}
+	// Columns 2..4 over 2 rows: CLB(2) + BRAM(10) + CLB(2) per row = 14,
+	// times height 2 = 28.
+	got := m.FrameCount(r, grid.RectXYWH(2, 0, 3, 2))
+	if got != 28 {
+		t.Fatalf("FrameCount = %d, want 28", got)
+	}
+	// Empty and out-of-range areas cost nothing.
+	if m.FrameCount(r, grid.Rect{}) != 0 {
+		t.Fatal("empty area should cost 0 frames")
+	}
+	if m.FrameCount(r, grid.RectXYWH(100, 100, 5, 5)) != 0 {
+		t.Fatal("out-of-range area should cost 0 frames")
+	}
+}
+
+func TestFrameCountChargesWorstKindInColumn(t *testing.T) {
+	// A BRAM column interrupted by a clock tile: the BRAM rate must win.
+	spec := Spec{Name: "mix", W: 3, H: 4, BRAMColumns: []int{1}, ClockRowPeriod: 2}
+	d := spec.MustBuild()
+	r := d.FullRegion()
+	m := FrameModel{
+		FramesPerColumn:    map[Kind]int{CLB: 1, BRAM: 8, Clock: 2},
+		FrameBytes:         10,
+		PortBytesPerSecond: 10,
+	}
+	// Full height of column 1 (kinds BRAM and Clock alternating): worst
+	// kind is BRAM at 8/row, height 4 -> 32.
+	got := m.FrameCount(r, grid.RectXYWH(1, 0, 1, 4))
+	if got != 32 {
+		t.Fatalf("FrameCount = %d, want 32", got)
+	}
+}
+
+func TestReconfigTime(t *testing.T) {
+	m := FrameModel{FrameBytes: 100, PortBytesPerSecond: 1000}
+	d := m.ReconfigTime(10) // 1000 bytes at 1000 B/s = 1s
+	if d.Seconds() != 1.0 {
+		t.Fatalf("ReconfigTime = %v, want 1s", d)
+	}
+	zero := FrameModel{FrameBytes: 100}
+	if zero.ReconfigTime(10) != 0 {
+		t.Fatal("zero-bandwidth model should report 0")
+	}
+}

@@ -1,0 +1,222 @@
+// Package geost is a geometrical constraint kernel in the spirit of
+// Beldiceanu et al.'s geost: polymorphic objects (an object may take one
+// of several shapes), placement variables over a bounded 2D space,
+// non-overlap filtering, and an occupied-height objective. Following the
+// paper reproduced by this repository, the kernel is extended with a
+// resource property: every shape carries a bitmap of anchor positions
+// compatible with the heterogeneous resource layout of the space, and a
+// per-kind resource histogram used for capacity-based bound reasoning.
+//
+// The kernel models each object with a single placement variable whose
+// values encode (shape id, y, x); the paper's separate x/y/shape-id
+// variables are recoverable through Decode. One variable per object
+// makes the resource-compatibility constraint (the paper's extension of
+// geost boxes with a resource type) a plain domain restriction, and
+// makes non-overlap a value filter.
+package geost
+
+import (
+	"fmt"
+
+	"repro/internal/csp"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+// ShapeGeom is the kernel's view of one shape alternative: its occupied
+// cells, bounding box, the anchors where it may be placed (already
+// restricted to the space's bounds and resource layout — constraints
+// M_a ∧ M_b of the paper), and its resource demand.
+type ShapeGeom struct {
+	Points []grid.Point
+	W, H   int
+	Valid  *grid.Bitmap
+	Hist   fabric.Histogram
+}
+
+func (g *ShapeGeom) validate(spaceW, spaceH int) error {
+	if len(g.Points) == 0 {
+		return fmt.Errorf("geost: shape with no points")
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("geost: shape with empty bounds %dx%d", g.W, g.H)
+	}
+	if g.Valid == nil {
+		return fmt.Errorf("geost: shape without valid-anchor bitmap")
+	}
+	if g.Valid.W() != spaceW || g.Valid.H() != spaceH {
+		return fmt.Errorf("geost: valid-anchor bitmap %dx%d does not match space %dx%d",
+			g.Valid.W(), g.Valid.H(), spaceW, spaceH)
+	}
+	return nil
+}
+
+// Object is a placeable entity: a set of shape alternatives plus the
+// placement variable. Top is an auxiliary variable equal to the object's
+// topmost occupied row + 1 (its contribution to occupied height).
+type Object struct {
+	Name   string
+	Shapes []ShapeGeom
+	Place  *csp.Var
+	Top    *csp.Var
+
+	k  *Kernel
+	id int
+}
+
+// Kernel owns the 2D space and the objects placed in it.
+type Kernel struct {
+	st      *csp.Store
+	w, h    int
+	objects []*Object
+
+	// scratch is a reusable occupancy bitmap for non-overlap filtering.
+	scratch *grid.Bitmap
+}
+
+// New creates a kernel over a w×h space backed by st.
+func New(st *csp.Store, w, h int) *Kernel {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("geost: invalid space %dx%d", w, h))
+	}
+	return &Kernel{st: st, w: w, h: h, scratch: grid.NewBitmap(w, h)}
+}
+
+// W returns the space width.
+func (k *Kernel) W() int { return k.w }
+
+// H returns the space height.
+func (k *Kernel) H() int { return k.h }
+
+// Store returns the backing constraint store.
+func (k *Kernel) Store() *csp.Store { return k.st }
+
+// Objects returns the objects added so far.
+func (k *Kernel) Objects() []*Object { return k.objects }
+
+// encode packs (sid, x, y) into a placement value.
+func (k *Kernel) encode(sid, x, y int) int { return (sid*k.h+y)*k.w + x }
+
+// Decode unpacks a placement value of this object.
+func (o *Object) Decode(val int) (sid, x, y int) {
+	x = val % o.k.w
+	rest := val / o.k.w
+	y = rest % o.k.h
+	sid = rest / o.k.h
+	return sid, x, y
+}
+
+// topOf returns the top row bound (y + shape height) of a placement
+// value.
+func (o *Object) topOf(val int) int {
+	sid, _, y := o.Decode(val)
+	return y + o.Shapes[sid].H
+}
+
+// Assigned reports whether the object's placement is fixed.
+func (o *Object) Assigned() bool { return o.Place.Assigned() }
+
+// Placement returns the assigned (sid, x, y); it panics if unassigned.
+func (o *Object) Placement() (sid, x, y int) { return o.Decode(o.Place.Value()) }
+
+// CandidateCount returns the number of remaining placements.
+func (o *Object) CandidateCount() int { return o.Place.Size() }
+
+// ShapePresent reports whether shape sid still has candidate placements.
+func (o *Object) ShapePresent(sid int) bool {
+	lo := o.k.encode(sid, 0, 0)
+	hi := o.k.encode(sid+1, 0, 0) - 1
+	return o.Place.Domain().AnyInRange(lo, hi)
+}
+
+// MinDemand returns, per kind, the minimum demand over the shapes still
+// present in the placement domain.
+func (o *Object) MinDemand() fabric.Histogram {
+	var out fabric.Histogram
+	first := true
+	for sid := range o.Shapes {
+		if !o.ShapePresent(sid) {
+			continue
+		}
+		h := o.Shapes[sid].Hist
+		if first {
+			out = h
+			first = false
+			continue
+		}
+		for k := range out {
+			if h[k] < out[k] {
+				out[k] = h[k]
+			}
+		}
+	}
+	return out
+}
+
+// AddObject registers an object with the given shape alternatives. The
+// placement domain is the union over shapes of their valid anchors; an
+// object with no feasible placement at all is rejected here rather than
+// discovered during search.
+func (k *Kernel) AddObject(name string, shapes []ShapeGeom) (*Object, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("geost: object %s has no shapes", name)
+	}
+	var vals []int
+	minTop := k.h + 1
+	maxTop := 0
+	for sid := range shapes {
+		g := &shapes[sid]
+		if err := g.validate(k.w, k.h); err != nil {
+			return nil, fmt.Errorf("geost: object %s shape %d: %w", name, sid, err)
+		}
+		for y := 0; y <= k.h-g.H; y++ {
+			for x := 0; x <= k.w-g.W; x++ {
+				if g.Valid.Get(x, y) {
+					vals = append(vals, k.encode(sid, x, y))
+					if t := y + g.H; t < minTop {
+						minTop = t
+					}
+					if t := y + g.H; t > maxTop {
+						maxTop = t
+					}
+				}
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("geost: object %s has no feasible placement", name)
+	}
+	o := &Object{
+		Name:   name,
+		Shapes: shapes,
+		k:      k,
+		id:     len(k.objects),
+	}
+	o.Place = k.st.NewVar("place("+name+")", csp.NewDomainValues(vals...))
+	o.Top = k.st.NewVarRange("top("+name+")", minTop, maxTop)
+	k.st.Post(&topLink{o: o}, o.Place, o.Top)
+	k.objects = append(k.objects, o)
+	return o, nil
+}
+
+// PostNonOverlap posts pairwise non-overlap over all objects added so
+// far (constraint M_c of the paper). Filtering is forward checking
+// against assigned objects with a bounding-box early-out.
+func (k *Kernel) PostNonOverlap() {
+	for i := 0; i < len(k.objects); i++ {
+		for j := i + 1; j < len(k.objects); j++ {
+			a, b := k.objects[i], k.objects[j]
+			k.st.Post(&nonOverlapPair{k: k, a: a, b: b}, a.Place, b.Place)
+		}
+	}
+}
+
+// PlaceVars returns the placement variables of all objects, in object
+// order — the canonical search variables.
+func (k *Kernel) PlaceVars() []*csp.Var {
+	out := make([]*csp.Var, len(k.objects))
+	for i, o := range k.objects {
+		out[i] = o.Place
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package geost
+
+import (
+	"repro/internal/csp"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+// topLink channels between an object's placement variable and its Top
+// variable: Top = y + height(shape). Bounds of Top are maintained from
+// the placement domain, and placements incompatible with Top's bounds
+// are pruned (this is how a branch-and-bound cap on total height reaches
+// into placement domains).
+type topLink struct {
+	o *Object
+}
+
+func (p *topLink) Propagate(st *csp.Store) error {
+	o := p.o
+	lo, hi := o.k.h+1, -1
+	o.Place.Domain().ForEach(func(val int) bool {
+		t := o.topOf(val)
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+		return true
+	})
+	if err := st.SetMin(o.Top, lo); err != nil {
+		return err
+	}
+	if err := st.SetMax(o.Top, hi); err != nil {
+		return err
+	}
+	tLo, tHi := o.Top.Min(), o.Top.Max()
+	if tLo > lo || tHi < hi {
+		return st.FilterDomain(o.Place, func(val int) bool {
+			t := o.topOf(val)
+			return t >= tLo && t <= tHi
+		})
+	}
+	return nil
+}
+
+// nonOverlapPair enforces that two objects do not share a tile, by
+// forward checking: once one side is assigned, the other side's
+// candidate placements that collide with it are pruned. A bounding-box
+// test rejects most candidates before the per-tile test.
+type nonOverlapPair struct {
+	k    *Kernel
+	a, b *Object
+}
+
+func (p *nonOverlapPair) Propagate(st *csp.Store) error {
+	if err := p.dir(st, p.a, p.b); err != nil {
+		return err
+	}
+	return p.dir(st, p.b, p.a)
+}
+
+func (p *nonOverlapPair) dir(st *csp.Store, fixed, other *Object) error {
+	if !fixed.Assigned() {
+		return nil
+	}
+	sid, x, y := fixed.Placement()
+	g := &fixed.Shapes[sid]
+	at := grid.Pt(x, y)
+	box := grid.RectXYWH(x, y, g.W, g.H)
+
+	// Paint the fixed object into the kernel scratch bitmap; unpaint
+	// before returning so the scratch stays clean for the next pair.
+	scratch := p.k.scratch
+	scratch.SetPoints(translate(g.Points, at), true)
+	defer scratch.SetPoints(translate(g.Points, at), false)
+
+	return st.FilterDomain(other.Place, func(val int) bool {
+		osid, ox, oy := other.Decode(val)
+		og := &other.Shapes[osid]
+		if !box.Overlaps(grid.RectXYWH(ox, oy, og.W, og.H)) {
+			return true
+		}
+		return !scratch.AnyAt(og.Points, grid.Pt(ox, oy))
+	})
+}
+
+func translate(ps []grid.Point, d grid.Point) []grid.Point {
+	out := make([]grid.Point, len(ps))
+	for i, p := range ps {
+		out[i] = p.Add(d)
+	}
+	return out
+}
+
+// heightBound implements capacity-based bound reasoning for the
+// occupied-height objective: every tile of every object lies strictly
+// below the height variable, so for each resource kind the capacity of
+// the space's first h rows must cover the objects' total minimum
+// demand. The propagator raises the height variable's lower bound to the
+// smallest h whose capacity suffices — and thereby fails fast when a
+// branch-and-bound cap is unachievable.
+type heightBound struct {
+	k      *Kernel
+	height *csp.Var
+	// capPrefix[h][kind] = tiles of that kind in rows < h.
+	capPrefix []fabric.Histogram
+}
+
+// PostHeightObjective creates the occupied-height variable: height =
+// max over objects of Top, plus capacity-based lower-bound reasoning
+// against capPrefix (capPrefix[h] must hold per-kind tile counts of the
+// space's first h rows; len(capPrefix) == spaceH+1).
+func (k *Kernel) PostHeightObjective(capPrefix []fabric.Histogram) *csp.Var {
+	if len(capPrefix) != k.h+1 {
+		panic("geost: capPrefix must have spaceH+1 entries")
+	}
+	if len(k.objects) == 0 {
+		panic("geost: PostHeightObjective with no objects")
+	}
+	height := k.st.NewVarRange("height", 0, k.h)
+	tops := make([]*csp.Var, len(k.objects))
+	for i, o := range k.objects {
+		tops[i] = o.Top
+	}
+	csp.MaxOf(k.st, height, tops...)
+	hb := &heightBound{k: k, height: height, capPrefix: capPrefix}
+	watched := append([]*csp.Var{height}, k.PlaceVars()...)
+	k.st.Post(hb, watched...)
+	return height
+}
+
+func (p *heightBound) Propagate(st *csp.Store) error {
+	var demand fabric.Histogram
+	for _, o := range p.k.objects {
+		d := o.MinDemand()
+		for k := range demand {
+			demand[k] += d[k]
+		}
+	}
+	h := p.height.Min()
+	for h <= p.k.h && !sufficient(p.capPrefix[h], demand) {
+		h++
+	}
+	// If even the full space cannot cover the demand, SetMin empties the
+	// height domain and reports inconsistency.
+	return st.SetMin(p.height, h)
+}
+
+func sufficient(capacity, demand fabric.Histogram) bool {
+	for k := range demand {
+		if demand[k] > capacity[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package grid
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Bitmap is a dense 2D bit matrix over a w×h tile window anchored at
+// (0, 0). It is the occupancy structure used by placers and by the geost
+// kernel's sweep: a set bit marks an occupied (or forbidden) tile.
+//
+// Rows are stored as packed 64-bit words so that row-wise operations
+// (shifted AND for collision tests, OR for placement) run a word at a
+// time.
+type Bitmap struct {
+	w, h  int
+	wpr   int // words per row
+	words []uint64
+}
+
+// NewBitmap returns an all-zero bitmap of the given size. It panics if
+// either dimension is negative.
+func NewBitmap(w, h int) *Bitmap {
+	if w < 0 || h < 0 {
+		panic("grid: negative bitmap dimension")
+	}
+	wpr := (w + 63) / 64
+	return &Bitmap{w: w, h: h, wpr: wpr, words: make([]uint64, wpr*h)}
+}
+
+// W returns the bitmap width in tiles.
+func (b *Bitmap) W() int { return b.w }
+
+// H returns the bitmap height in tiles.
+func (b *Bitmap) H() int { return b.h }
+
+// Bounds returns the rectangle [0,w)×[0,h).
+func (b *Bitmap) Bounds() Rect { return Rect{0, 0, b.w, b.h} }
+
+func (b *Bitmap) index(x, y int) (word int, bit uint) {
+	return y*b.wpr + x>>6, uint(x & 63)
+}
+
+// Get reports the bit at (x, y); out-of-range coordinates read as false.
+func (b *Bitmap) Get(x, y int) bool {
+	if x < 0 || y < 0 || x >= b.w || y >= b.h {
+		return false
+	}
+	w, bit := b.index(x, y)
+	return b.words[w]&(1<<bit) != 0
+}
+
+// Set writes the bit at (x, y); out-of-range coordinates are ignored.
+func (b *Bitmap) Set(x, y int, v bool) {
+	if x < 0 || y < 0 || x >= b.w || y >= b.h {
+		return
+	}
+	w, bit := b.index(x, y)
+	if v {
+		b.words[w] |= 1 << bit
+	} else {
+		b.words[w] &^= 1 << bit
+	}
+}
+
+// SetRect sets every bit of r (clipped to the bitmap) to v.
+func (b *Bitmap) SetRect(r Rect, v bool) {
+	r = r.Intersect(b.Bounds())
+	for y := r.MinY; y < r.MaxY; y++ {
+		for x := r.MinX; x < r.MaxX; x++ {
+			b.Set(x, y, v)
+		}
+	}
+}
+
+// SetPoints sets the bit at each point (clipped) to v.
+func (b *Bitmap) SetPoints(ps []Point, v bool) {
+	for _, p := range ps {
+		b.Set(p.X, p.Y, v)
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{w: b.w, h: b.h, wpr: b.wpr, words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+// Clear zeroes every bit.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites b with src. The bitmaps must have equal dimensions.
+func (b *Bitmap) CopyFrom(src *Bitmap) {
+	if b.w != src.w || b.h != src.h {
+		panic("grid: CopyFrom dimension mismatch")
+	}
+	copy(b.words, src.words)
+}
+
+// AnyInRect reports whether any bit inside r (clipped) is set.
+func (b *Bitmap) AnyInRect(r Rect) bool {
+	r = r.Intersect(b.Bounds())
+	for y := r.MinY; y < r.MaxY; y++ {
+		for x := r.MinX; x < r.MaxX; x++ {
+			if b.Get(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AnyAt reports whether any of the points ps, translated by at, hits a
+// set bit. Points landing outside the bitmap read as false.
+func (b *Bitmap) AnyAt(ps []Point, at Point) bool {
+	for _, p := range ps {
+		if b.Get(p.X+at.X, p.Y+at.Y) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or sets every bit that is set in src. Dimensions must match.
+func (b *Bitmap) Or(src *Bitmap) {
+	if b.w != src.w || b.h != src.h {
+		panic("grid: Or dimension mismatch")
+	}
+	for i, w := range src.words {
+		b.words[i] |= w
+	}
+}
+
+// AndNot clears every bit that is set in src. Dimensions must match.
+func (b *Bitmap) AndNot(src *Bitmap) {
+	if b.w != src.w || b.h != src.h {
+		panic("grid: AndNot dimension mismatch")
+	}
+	for i, w := range src.words {
+		b.words[i] &^= w
+	}
+}
+
+// Intersects reports whether b and src share a set bit. Dimensions must
+// match.
+func (b *Bitmap) Intersects(src *Bitmap) bool {
+	if b.w != src.w || b.h != src.h {
+		panic("grid: Intersects dimension mismatch")
+	}
+	for i, w := range src.words {
+		if b.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxSetY returns the largest y holding a set bit, or -1 if the bitmap is
+// empty.
+func (b *Bitmap) MaxSetY() int {
+	for y := b.h - 1; y >= 0; y-- {
+		row := b.words[y*b.wpr : (y+1)*b.wpr]
+		for _, w := range row {
+			if w != 0 {
+				return y
+			}
+		}
+	}
+	return -1
+}
+
+// CountRow returns the number of set bits in row y (0 when out of range).
+func (b *Bitmap) CountRow(y int) int {
+	if y < 0 || y >= b.h {
+		return 0
+	}
+	n := 0
+	for _, w := range b.words[y*b.wpr : (y+1)*b.wpr] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// String renders the bitmap with '#' for set and '.' for clear bits, top
+// row (largest y) first, for debugging and golden tests.
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	for y := b.h - 1; y >= 0; y-- {
+		for x := 0; x < b.w; x++ {
+			if b.Get(x, y) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		if y > 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

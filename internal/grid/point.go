@@ -1,0 +1,96 @@
+// Package grid provides the discrete-geometry substrate used by the
+// fabric model, the module model and the geost constraint kernel: integer
+// points, rectangles, rigid transforms on the unit grid, and dense
+// occupancy bitmaps.
+//
+// All coordinates are integer tile coordinates. The positive x axis points
+// right and the positive y axis points up, matching the column/row layout
+// of FPGA fabrics where y indexes rows of a reconfigurable region.
+package grid
+
+import "fmt"
+
+// Point is an integer coordinate pair on the tile grid.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{X: x, Y: y} }
+
+// Add returns the translation of p by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the translation of p by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Neg returns the point reflected through the origin.
+func (p Point) Neg() Point { return Point{-p.X, -p.Y} }
+
+// In reports whether p lies inside r.
+func (p Point) In(r Rect) bool {
+	return r.MinX <= p.X && p.X < r.MaxX && r.MinY <= p.Y && p.Y < r.MaxY
+}
+
+// Less orders points lexicographically by (Y, X). It provides the
+// canonical ordering used when normalising tile sets.
+func (p Point) Less(q Point) bool {
+	if p.Y != q.Y {
+		return p.Y < q.Y
+	}
+	return p.X < q.X
+}
+
+// String returns "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// SortPoints sorts ps in place into the canonical (Y, X) order.
+func SortPoints(ps []Point) {
+	// Insertion sort: tile lists are short and often nearly sorted; this
+	// also avoids pulling package sort into the hot path.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Less(ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// DedupPoints sorts ps and removes duplicates, returning the shortened
+// slice (which aliases ps).
+func DedupPoints(ps []Point) []Point {
+	if len(ps) == 0 {
+		return ps
+	}
+	SortPoints(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BoundsOf returns the tight bounding rectangle of ps. It returns the
+// empty rectangle for an empty slice.
+func BoundsOf(ps []Point) Rect {
+	if len(ps) == 0 {
+		return Rect{}
+	}
+	r := Rect{MinX: ps[0].X, MinY: ps[0].Y, MaxX: ps[0].X + 1, MaxY: ps[0].Y + 1}
+	for _, p := range ps[1:] {
+		if p.X < r.MinX {
+			r.MinX = p.X
+		}
+		if p.Y < r.MinY {
+			r.MinY = p.Y
+		}
+		if p.X+1 > r.MaxX {
+			r.MaxX = p.X + 1
+		}
+		if p.Y+1 > r.MaxY {
+			r.MaxY = p.Y + 1
+		}
+	}
+	return r
+}

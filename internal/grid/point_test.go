@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, -2)
+	q := Pt(-1, 5)
+	if got := p.Add(q); got != Pt(2, 3) {
+		t.Errorf("Add = %v, want (2,3)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, -7) {
+		t.Errorf("Sub = %v, want (4,-7)", got)
+	}
+	if got := p.Neg(); got != Pt(-3, 2) {
+		t.Errorf("Neg = %v, want (-3,2)", got)
+	}
+}
+
+func TestPointAddSubRoundTrip(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a := Pt(int(ax), int(ay))
+		b := Pt(int(bx), int(by))
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointIn(t *testing.T) {
+	r := RectXYWH(0, 0, 4, 3)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(3, 2), true},
+		{Pt(4, 2), false},
+		{Pt(3, 3), false},
+		{Pt(-1, 0), false},
+		{Pt(0, -1), false},
+	}
+	for _, c := range cases {
+		if got := c.p.In(r); got != c.want {
+			t.Errorf("%v.In(%v) = %v, want %v", c.p, r, got, c.want)
+		}
+	}
+}
+
+func TestSortPointsCanonicalOrder(t *testing.T) {
+	ps := []Point{{2, 1}, {0, 0}, {1, 1}, {5, 0}}
+	SortPoints(ps)
+	want := []Point{{0, 0}, {5, 0}, {1, 1}, {2, 1}}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("SortPoints = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestSortPointsIsSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ps := make([]Point, int(n)%32)
+		for i := range ps {
+			ps[i] = Pt(rng.Intn(10), rng.Intn(10))
+		}
+		SortPoints(ps)
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Less(ps[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedupPoints(t *testing.T) {
+	ps := []Point{{1, 1}, {0, 0}, {1, 1}, {0, 0}, {2, 2}}
+	out := DedupPoints(ps)
+	if len(out) != 3 {
+		t.Fatalf("DedupPoints len = %d, want 3 (%v)", len(out), out)
+	}
+	want := []Point{{0, 0}, {1, 1}, {2, 2}}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("DedupPoints = %v, want %v", out, want)
+		}
+	}
+	if got := DedupPoints(nil); got != nil {
+		t.Errorf("DedupPoints(nil) = %v, want nil", got)
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	if got := BoundsOf(nil); !got.Empty() {
+		t.Errorf("BoundsOf(nil) = %v, want empty", got)
+	}
+	ps := []Point{{1, 2}, {4, 0}, {3, 5}}
+	got := BoundsOf(ps)
+	want := Rect{MinX: 1, MinY: 0, MaxX: 5, MaxY: 6}
+	if got != want {
+		t.Errorf("BoundsOf = %v, want %v", got, want)
+	}
+	for _, p := range ps {
+		if !p.In(got) {
+			t.Errorf("point %v not in its own bounds %v", p, got)
+		}
+	}
+}
+
+func TestBoundsOfContainsAll(t *testing.T) {
+	f := func(raw []struct{ X, Y int8 }) bool {
+		ps := make([]Point, len(ps2pts(raw)))
+		copy(ps, ps2pts(raw))
+		b := BoundsOf(ps)
+		for _, p := range ps {
+			if !p.In(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ps2pts(raw []struct{ X, Y int8 }) []Point {
+	ps := make([]Point, len(raw))
+	for i, r := range raw {
+		ps[i] = Pt(int(r.X), int(r.Y))
+	}
+	return ps
+}

@@ -1,0 +1,124 @@
+package grid
+
+// Transform is a rigid transform of the tile grid: one of the eight
+// symmetries of the square (four rotations, optionally composed with a
+// horizontal mirror). Transforms act on points; shapes are transformed by
+// transforming their tiles and renormalising to a non-negative origin.
+//
+// Only Identity and Rot180 preserve the aspect ratio of rectangular
+// dedicated resources such as BRAM columns, which is why the paper's
+// module alternatives are restricted to 180-degree rotations plus layout
+// changes; the full group is provided for generality and for tests.
+type Transform uint8
+
+// The eight grid symmetries. MirrorX flips x (reflection about the y
+// axis); the composed forms apply the rotation first, then the mirror.
+const (
+	Identity Transform = iota
+	Rot90
+	Rot180
+	Rot270
+	MirrorX
+	MirrorXRot90
+	MirrorXRot180
+	MirrorXRot270
+	numTransforms
+)
+
+var transformNames = [numTransforms]string{
+	"identity", "rot90", "rot180", "rot270",
+	"mirrorx", "mirrorx-rot90", "mirrorx-rot180", "mirrorx-rot270",
+}
+
+// String returns a stable lowercase name for t.
+func (t Transform) String() string {
+	if t < numTransforms {
+		return transformNames[t]
+	}
+	return "invalid-transform"
+}
+
+// Valid reports whether t is one of the eight defined symmetries.
+func (t Transform) Valid() bool { return t < numTransforms }
+
+// Apply maps p under t (about the origin).
+func (t Transform) Apply(p Point) Point {
+	switch t {
+	case Identity:
+		return p
+	case Rot90:
+		return Point{-p.Y, p.X}
+	case Rot180:
+		return Point{-p.X, -p.Y}
+	case Rot270:
+		return Point{p.Y, -p.X}
+	case MirrorX:
+		return Point{-p.X, p.Y}
+	case MirrorXRot90:
+		return Point{p.Y, p.X}
+	case MirrorXRot180:
+		return Point{p.X, -p.Y}
+	case MirrorXRot270:
+		return Point{-p.Y, -p.X}
+	}
+	return p
+}
+
+// Compose returns the transform equivalent to applying t first and then u.
+func (t Transform) Compose(u Transform) Transform {
+	tm, tr := t >= MirrorX, int(t)%4
+	um, ur := u >= MirrorX, int(u)%4
+	// Dihedral-group algebra with elements written M^m ∘ R^r (rotation
+	// applied first): R^u ∘ M = M ∘ R^(-u), so a mirror in t flips the
+	// direction of u's rotation.
+	var rot int
+	if tm {
+		rot = (tr - ur + 8) % 4
+	} else {
+		rot = (tr + ur) % 4
+	}
+	mirror := tm != um
+	out := Transform(rot)
+	if mirror {
+		out += MirrorX
+	}
+	return out
+}
+
+// Inverse returns the transform that undoes t.
+func (t Transform) Inverse() Transform {
+	switch t {
+	case Rot90:
+		return Rot270
+	case Rot270:
+		return Rot90
+	default:
+		// Identity, Rot180 and all mirrored forms are involutions.
+		return t
+	}
+}
+
+// SwapsAxes reports whether t exchanges width and height.
+func (t Transform) SwapsAxes() bool {
+	switch t {
+	case Rot90, Rot270, MirrorXRot90, MirrorXRot270:
+		return true
+	}
+	return false
+}
+
+// ApplyAll maps each point of ps under t and renormalises the result so
+// the bounding box origin is (0, 0); the output is in canonical order.
+func (t Transform) ApplyAll(ps []Point) []Point {
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[i] = t.Apply(p)
+	}
+	b := BoundsOf(out)
+	off := Point{-b.MinX, -b.MinY}
+	for i := range out {
+		out[i] = out[i].Add(off)
+	}
+	SortPoints(out)
+	return out
+}

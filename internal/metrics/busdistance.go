@@ -1,0 +1,31 @@
+package metrics
+
+// BusDistance quantifies communication quality of a placement in a
+// ReCoBus-style system: for each placed module (given by its bounding
+// rows) the vertical distance to the nearest bus row, averaged over
+// modules. Zero means every module crosses a bus (the hard constraint
+// the placer can enforce); positive values measure how far modules would
+// need dedicated feed-through wiring.
+func BusDistance(rowsSpans [][2]int, busRows []int) float64 {
+	if len(rowsSpans) == 0 || len(busRows) == 0 {
+		return 0
+	}
+	total := 0
+	for _, span := range rowsSpans {
+		best := -1
+		for _, r := range busRows {
+			d := 0
+			switch {
+			case r < span[0]:
+				d = span[0] - r
+			case r >= span[1]:
+				d = r - (span[1] - 1)
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return float64(total) / float64(len(rowsSpans))
+}

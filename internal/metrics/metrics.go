@@ -1,0 +1,166 @@
+// Package metrics computes the quality measures of the paper's
+// evaluation: average resource utilization of a placement, external
+// fragmentation of the free space, and summary statistics over
+// experiment runs.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+// Utilization is the paper's average resource utilization: the fraction
+// of usable (placeable) tiles that carry module logic, measured within
+// the occupied extent — rows [0, maxOccupiedRow]. Minimising occupied
+// height maximises this quantity; unused tiles inside the extent are
+// fragmentation losses.
+//
+// occupancy marks tiles carrying module logic; it must have the region's
+// dimensions. The function returns 0 for an empty occupancy.
+func Utilization(region *fabric.Region, occupancy *grid.Bitmap) float64 {
+	top := occupancy.MaxSetY()
+	if top < 0 {
+		return 0
+	}
+	usable := region.PlaceableInRows(top + 1)
+	if usable == 0 {
+		return 0
+	}
+	return float64(occupancy.Count()) / float64(usable)
+}
+
+// OverallUtilization measures against the whole region rather than the
+// occupied extent: occupied / all placeable tiles.
+func OverallUtilization(region *fabric.Region, occupancy *grid.Bitmap) float64 {
+	usable := region.PlaceableCount()
+	if usable == 0 {
+		return 0
+	}
+	return float64(occupancy.Count()) / float64(usable)
+}
+
+// FreeInSpan returns the number of usable tiles inside the occupied
+// extent that carry no module logic — the external fragmentation loss in
+// tiles.
+func FreeInSpan(region *fabric.Region, occupancy *grid.Bitmap) int {
+	top := occupancy.MaxSetY()
+	if top < 0 {
+		return 0
+	}
+	return region.PlaceableInRows(top+1) - occupancy.Count()
+}
+
+// LargestFreeRect returns the area of the largest axis-aligned rectangle
+// of usable, unoccupied tiles within the occupied extent. It is the
+// classic maximal-rectangle-in-histogram computation, O(W·H).
+func LargestFreeRect(region *fabric.Region, occupancy *grid.Bitmap) int {
+	top := occupancy.MaxSetY()
+	if top < 0 {
+		return 0
+	}
+	w := region.W()
+	heights := make([]int, w)
+	best := 0
+	for y := 0; y <= top; y++ {
+		for x := 0; x < w; x++ {
+			if region.PlaceableAt(x, y) && !occupancy.Get(x, y) {
+				heights[x]++
+			} else {
+				heights[x] = 0
+			}
+		}
+		if a := largestInHistogram(heights); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// largestInHistogram returns the maximal rectangle area under the
+// histogram using the monotonic stack method.
+func largestInHistogram(h []int) int {
+	type entry struct{ start, height int }
+	stack := make([]entry, 0, len(h))
+	best := 0
+	for i := 0; i <= len(h); i++ {
+		cur := 0
+		if i < len(h) {
+			cur = h[i]
+		}
+		start := i
+		for len(stack) > 0 && stack[len(stack)-1].height > cur {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if a := e.height * (i - e.start); a > best {
+				best = a
+			}
+			start = e.start
+		}
+		if cur > 0 && (len(stack) == 0 || stack[len(stack)-1].height < cur) {
+			stack = append(stack, entry{start, cur})
+		}
+	}
+	return best
+}
+
+// Fragmentation quantifies how shattered the free space inside the
+// occupied extent is: 1 − largestFreeRect/freeTiles. 0 means all free
+// space forms one rectangle (perfectly usable by a future module); values
+// near 1 mean the free space is unusably scattered. Returns 0 when there
+// is no free space.
+func Fragmentation(region *fabric.Region, occupancy *grid.Bitmap) float64 {
+	free := FreeInSpan(region, occupancy)
+	if free <= 0 {
+		return 0
+	}
+	return 1 - float64(LargestFreeRect(region, occupancy))/float64(free)
+}
+
+// Summary holds order statistics over a sample of float64 measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics (sample standard deviation).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}

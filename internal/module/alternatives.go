@@ -1,0 +1,120 @@
+package module
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// AlternativeOptions controls design-alternative generation for a
+// module. The defaults reproduce the paper's Section V configuration:
+// four shapes per module — a base layout, its 180° rotation, an
+// internal-layout variant (dedicated resources on the other side of the
+// same bounding box), and an external-layout variant (different bounding
+// box).
+type AlternativeOptions struct {
+	// Count is the number of alternatives to emit (≥ 1). Duplicates
+	// arising from symmetric layouts are dropped, so the result may be
+	// shorter than Count.
+	Count int
+	// BaseWidth overrides the balanced bounding-box width (0 = auto).
+	BaseWidth int
+	// WidthDeltas are bounding-box width changes used to derive
+	// external-layout variants, tried in order. Defaults to +1, -1, +2.
+	WidthDeltas []int
+	// NoRotation suppresses 180° rotation variants; modules whose state
+	// layout forbids rotation set this.
+	NoRotation bool
+}
+
+func (o AlternativeOptions) withDefaults() AlternativeOptions {
+	if o.Count == 0 {
+		o.Count = 4
+	}
+	if len(o.WidthDeltas) == 0 {
+		o.WidthDeltas = []int{1, -1, 2}
+	}
+	return o
+}
+
+// GenerateAlternatives builds a module named name realising demand d
+// with up to opts.Count design alternatives. The generation order is the
+// paper's recipe:
+//
+//  1. base layout (dedicated columns left, balanced width);
+//  2. base rotated 180°;
+//  3. internal variant (dedicated columns right — same bounding box,
+//     different internal resource positions);
+//  4. external variants (wider/narrower bounding box), then their
+//     rotations, until Count shapes are collected.
+//
+// All returned shapes consume exactly the same resources; the paper
+// permits unequal demands across alternatives, and callers wanting that
+// can assemble a Module from individually synthesised shapes instead.
+func GenerateAlternatives(name string, d Demand, opts AlternativeOptions) (*Module, error) {
+	opts = opts.withDefaults()
+	if opts.Count < 1 {
+		return nil, fmt.Errorf("module %s: alternative count %d < 1", name, opts.Count)
+	}
+	w := opts.BaseWidth
+	if w == 0 {
+		w = BalancedWidth(d)
+	}
+	base, err := Synthesize(d, w, DedicatedLeft)
+	if err != nil {
+		return nil, fmt.Errorf("module %s: %w", name, err)
+	}
+
+	// Assemble candidates so the paper's four canonical variants come
+	// first: base, rot180(base), internal (other side, same bounding
+	// box), external (different bounding box). Further externals and the
+	// rotations of the non-base layouts follow for callers requesting
+	// more than four alternatives.
+	rot := func(s *Shape) *Shape { return s.Transform(grid.Rot180) }
+	candidates := []*Shape{base}
+	if !opts.NoRotation {
+		candidates = append(candidates, rot(base))
+	}
+	internal, internalErr := Synthesize(d, w, DedicatedRight)
+	if internalErr == nil {
+		candidates = append(candidates, internal)
+	}
+	var externals []*Shape
+	for _, delta := range opts.WidthDeltas {
+		ew := w + delta
+		if ew < 1 || ew == w {
+			continue
+		}
+		for _, side := range []Side{DedicatedLeft, DedicatedRight} {
+			if ext, err := Synthesize(d, ew, side); err == nil {
+				externals = append(externals, ext)
+			}
+		}
+	}
+	if len(externals) > 0 {
+		candidates = append(candidates, externals[0])
+	}
+	if !opts.NoRotation && internalErr == nil {
+		candidates = append(candidates, rot(internal))
+	}
+	for i, ext := range externals {
+		if i > 0 {
+			candidates = append(candidates, ext)
+		}
+		if !opts.NoRotation {
+			candidates = append(candidates, rot(ext))
+		}
+	}
+
+	m := &Module{name: name}
+	for _, s := range candidates {
+		if len(m.shapes) == opts.Count {
+			break
+		}
+		m.addShape(s)
+	}
+	if len(m.shapes) == 0 {
+		return nil, fmt.Errorf("module %s: no shapes generated", name)
+	}
+	return m, nil
+}

@@ -1,0 +1,41 @@
+package module_test
+
+import (
+	"fmt"
+
+	"repro/internal/module"
+)
+
+// ExampleGenerateAlternatives builds the paper's default family of four
+// design alternatives for one resource demand.
+func ExampleGenerateAlternatives() {
+	m, err := module.GenerateAlternatives("filter", module.Demand{CLB: 12, BRAM: 2},
+		module.AlternativeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.NumShapes(), "alternatives")
+	for i, s := range m.Shapes() {
+		fmt.Printf("shape %d: %dx%d, %s\n", i, s.W(), s.H(), s.Histogram())
+	}
+	// Output:
+	// 4 alternatives
+	// shape 0: 4x4, CLB:12 BRAM:2
+	// shape 1: 4x4, CLB:12 BRAM:2
+	// shape 2: 4x4, CLB:12 BRAM:2
+	// shape 3: 5x3, CLB:12 BRAM:2
+}
+
+// ExampleSynthesize lays out a demand at a given width with the
+// dedicated column on the left.
+func ExampleSynthesize() {
+	s, err := module.Synthesize(module.Demand{CLB: 6, BRAM: 2}, 3, module.DedicatedLeft)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output:
+	// .cc
+	// bcc
+	// bcc
+}

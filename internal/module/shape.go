@@ -1,0 +1,187 @@
+// Package module implements the paper's module formulation (Section
+// III.A): tiles with resource types, tilesets, shapes (one physical
+// layout of a module) and modules (sets of functionally equivalent
+// shapes — the design alternatives). It also provides layout synthesis
+// and design-alternative generation used by the evaluation workloads.
+package module
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+// Tile is one unit cell of a shape: a relative origin coordinate pair
+// plus the resource type the cell must be placed on (the paper's
+// t_{x,y,k}).
+type Tile struct {
+	At   grid.Point
+	Kind fabric.Kind
+}
+
+// String returns "(x,y):KIND".
+func (t Tile) String() string { return fmt.Sprintf("%v:%s", t.At, t.Kind) }
+
+// Shape is one possible physical implementation of a module: a non-empty
+// set of tiles in relative coordinates, normalised so its bounding box
+// starts at (0, 0) and its tiles are in canonical order. Shapes are
+// immutable after construction.
+//
+// The paper groups a shape's tiles into per-kind tilesets; Shape exposes
+// the same view through TilesOfKind, but stores a flat normalised list,
+// which is what the placer and the geost kernel consume.
+type Shape struct {
+	tiles  []Tile
+	bounds grid.Rect
+	hist   fabric.Histogram
+	key    string
+}
+
+// NewShape builds a normalised shape from tiles. It rejects empty tile
+// sets, duplicate coordinates and tiles whose kind cannot host module
+// logic (module tiles land on CLB/BRAM/DSP only).
+func NewShape(tiles []Tile) (*Shape, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("module: shape must contain at least one tile")
+	}
+	ts := make([]Tile, len(tiles))
+	copy(ts, tiles)
+	seen := make(map[grid.Point]bool, len(ts))
+	minX, minY := ts[0].At.X, ts[0].At.Y
+	for _, t := range ts {
+		if !t.Kind.Placeable() {
+			return nil, fmt.Errorf("module: tile %v has unplaceable kind %s", t.At, t.Kind)
+		}
+		if seen[t.At] {
+			return nil, fmt.Errorf("module: duplicate tile at %v", t.At)
+		}
+		seen[t.At] = true
+		if t.At.X < minX {
+			minX = t.At.X
+		}
+		if t.At.Y < minY {
+			minY = t.At.Y
+		}
+	}
+	s := &Shape{tiles: ts}
+	for i := range s.tiles {
+		s.tiles[i].At = s.tiles[i].At.Sub(grid.Pt(minX, minY))
+		s.hist.Add(s.tiles[i].Kind)
+	}
+	sort.Slice(s.tiles, func(i, j int) bool {
+		a, b := s.tiles[i], s.tiles[j]
+		if a.At != b.At {
+			return a.At.Less(b.At)
+		}
+		return a.Kind < b.Kind
+	})
+	pts := make([]grid.Point, len(s.tiles))
+	for i, t := range s.tiles {
+		pts[i] = t.At
+	}
+	s.bounds = grid.BoundsOf(pts)
+	var sb strings.Builder
+	for _, t := range s.tiles {
+		fmt.Fprintf(&sb, "%d,%d,%d;", t.At.X, t.At.Y, t.Kind)
+	}
+	s.key = sb.String()
+	return s, nil
+}
+
+// MustShape is NewShape panicking on error, for statically known shapes.
+func MustShape(tiles []Tile) *Shape {
+	s, err := NewShape(tiles)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Tiles returns the normalised tile list. Callers must not mutate it.
+func (s *Shape) Tiles() []Tile { return s.tiles }
+
+// Points returns the tile coordinates (without kinds) in canonical
+// order. The slice is freshly allocated on every call.
+func (s *Shape) Points() []grid.Point {
+	pts := make([]grid.Point, len(s.tiles))
+	for i, t := range s.tiles {
+		pts[i] = t.At
+	}
+	return pts
+}
+
+// TilesOfKind returns the tileset of kind k (tiles in canonical order).
+func (s *Shape) TilesOfKind(k fabric.Kind) []grid.Point {
+	var out []grid.Point
+	for _, t := range s.tiles {
+		if t.Kind == k {
+			out = append(out, t.At)
+		}
+	}
+	return out
+}
+
+// Size returns the number of tiles.
+func (s *Shape) Size() int { return len(s.tiles) }
+
+// Bounds returns the tight bounding box (origin (0,0)).
+func (s *Shape) Bounds() grid.Rect { return s.bounds }
+
+// W returns the bounding-box width.
+func (s *Shape) W() int { return s.bounds.W() }
+
+// H returns the bounding-box height.
+func (s *Shape) H() int { return s.bounds.H() }
+
+// Histogram returns per-kind tile counts.
+func (s *Shape) Histogram() fabric.Histogram { return s.hist }
+
+// Key returns a canonical fingerprint: two shapes are geometrically
+// identical (same tiles, same kinds) iff their keys are equal.
+func (s *Shape) Key() string { return s.key }
+
+// Equal reports whether s and o have identical normalised tiles.
+func (s *Shape) Equal(o *Shape) bool { return o != nil && s.key == o.key }
+
+// Transform returns the shape mapped under t and renormalised. The
+// resource kind of each tile is preserved.
+func (s *Shape) Transform(t grid.Transform) *Shape {
+	tiles := make([]Tile, len(s.tiles))
+	for i, tl := range s.tiles {
+		tiles[i] = Tile{At: t.Apply(tl.At), Kind: tl.Kind}
+	}
+	out := MustShape(tiles)
+	return out
+}
+
+// Transform180 returns the 180°-rotated shape. It is the only
+// non-identity rotation the paper admits for modules using rectangular
+// dedicated resources (90°/270° would misalign them with the fabric's
+// vertical resource columns).
+func (s *Shape) Transform180() *Shape { return s.Transform(grid.Rot180) }
+
+// String renders the shape as a small resource map, top row first, with
+// '.' for cells of the bounding box not covered by a tile.
+func (s *Shape) String() string {
+	cover := make(map[grid.Point]fabric.Kind, len(s.tiles))
+	for _, t := range s.tiles {
+		cover[t.At] = t.Kind
+	}
+	var sb strings.Builder
+	for y := s.bounds.MaxY - 1; y >= 0; y-- {
+		for x := 0; x < s.bounds.MaxX; x++ {
+			if k, ok := cover[grid.Pt(x, y)]; ok {
+				sb.WriteByte(k.Rune())
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		if y > 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterises random netlist generation.
+type GenConfig struct {
+	// LUTs, FFs, BRAMs, DSPs are primitive counts (defaults 160 LUTs,
+	// 120 FFs).
+	LUTs, FFs, BRAMs, DSPs int
+	// AvgFanout is the mean pins per net (default 3; minimum 2).
+	AvgFanout int
+	// Nets is the net count (default cells/2).
+	Nets int
+}
+
+func (c GenConfig) defaults() GenConfig {
+	if c.LUTs == 0 && c.FFs == 0 && c.BRAMs == 0 && c.DSPs == 0 {
+		c.LUTs, c.FFs = 160, 120
+	}
+	if c.AvgFanout < 2 {
+		c.AvgFanout = 3
+	}
+	if c.Nets == 0 {
+		c.Nets = (c.LUTs + c.FFs + c.BRAMs + c.DSPs) / 2
+	}
+	return c
+}
+
+// Generate draws a seeded random netlist: the requested primitive mix
+// with locality-biased random nets (each net connects cells from a
+// contiguous window of the cell list, approximating the clustered
+// connectivity of real designs).
+func Generate(name string, cfg GenConfig, rng *rand.Rand) (*Netlist, error) {
+	cfg = cfg.defaults()
+	n := &Netlist{Name: name}
+	add := func(kind CellKind, count int, prefix string) {
+		for i := 0; i < count; i++ {
+			n.Cells = append(n.Cells, Cell{Name: fmt.Sprintf("%s%d", prefix, i), Kind: kind})
+		}
+	}
+	add(LUT, cfg.LUTs, "lut")
+	add(FF, cfg.FFs, "ff")
+	add(BRAMCell, cfg.BRAMs, "bram")
+	add(DSPCell, cfg.DSPs, "dsp")
+	if len(n.Cells) < 2 {
+		return nil, fmt.Errorf("netlist: config yields %d cells, need >= 2", len(n.Cells))
+	}
+
+	window := len(n.Cells) / 8
+	if window < cfg.AvgFanout*2 {
+		window = cfg.AvgFanout * 2
+	}
+	for i := 0; i < cfg.Nets; i++ {
+		pins := 2 + rng.Intn(2*cfg.AvgFanout-3)
+		start := rng.Intn(len(n.Cells))
+		seen := map[string]bool{}
+		var names []string
+		for len(names) < pins {
+			idx := (start + rng.Intn(window)) % len(n.Cells)
+			name := n.Cells[idx].Name
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+			if len(seen) >= window { // window exhausted
+				break
+			}
+		}
+		if len(names) < 2 {
+			continue
+		}
+		n.Nets = append(n.Nets, Net{Name: fmt.Sprintf("n%d", i), Pins: names})
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

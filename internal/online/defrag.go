@@ -1,0 +1,169 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+// Resident describes one currently placed module for compaction
+// planning.
+type Resident struct {
+	ID     TaskID
+	Module *module.Module
+	Shape  int
+	At     grid.Point
+}
+
+func (r Resident) tiles() []grid.Point {
+	pts := r.Module.Shape(r.Shape).Points()
+	for i := range pts {
+		pts[i] = pts[i].Add(r.At)
+	}
+	return pts
+}
+
+// Move relocates one resident module to a new shape/anchor. Moves of a
+// compaction plan are ordered: each move's target is free given all
+// earlier moves applied.
+type Move struct {
+	ID    TaskID
+	Shape int
+	At    grid.Point
+}
+
+// PlanCompaction computes a defragmentation plan for the residents: the
+// CP placer derives a tighter target layout (design alternatives
+// included), and the planner orders the relocations so that every move
+// lands on tiles that are free at its turn — a module is never without a
+// valid location. Modules whose placement is unchanged do not move.
+//
+// The returned moves achieve the target layout when applied in order; an
+// error is returned if no ordering exists (relocation cycles) or the
+// target layout cannot be computed. A nil move list with a nil error
+// means the residency is already as tight as the placer can make it.
+func PlanCompaction(region *fabric.Region, residents []Resident, opts core.Options) ([]Move, *core.Result, error) {
+	if len(residents) == 0 {
+		return nil, nil, fmt.Errorf("online: no residents to compact")
+	}
+	seen := map[TaskID]bool{}
+	mods := make([]*module.Module, len(residents))
+	for i, r := range residents {
+		if r.Module == nil {
+			return nil, nil, fmt.Errorf("online: resident %d has no module", r.ID)
+		}
+		if r.Shape < 0 || r.Shape >= r.Module.NumShapes() {
+			return nil, nil, fmt.Errorf("online: resident %d has invalid shape %d", r.ID, r.Shape)
+		}
+		if seen[r.ID] {
+			return nil, nil, fmt.Errorf("online: duplicate resident %d", r.ID)
+		}
+		seen[r.ID] = true
+		mods[i] = r.Module
+	}
+
+	target, err := core.New(region, opts).Place(mods)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !target.Found {
+		return nil, nil, fmt.Errorf("online: compaction target infeasible")
+	}
+
+	// Current height; bail out early if the target is no better.
+	curTop := 0
+	for _, r := range residents {
+		if t := r.At.Y + r.Module.Shape(r.Shape).H(); t > curTop {
+			curTop = t
+		}
+	}
+	if target.Height >= curTop {
+		return nil, target, nil
+	}
+
+	// Order the moves: repeatedly pick a pending move whose target tiles
+	// are free in the current occupancy (with earlier moves applied).
+	occ := grid.NewBitmap(region.W(), region.H())
+	cur := make(map[TaskID][]grid.Point, len(residents))
+	for _, r := range residents {
+		pts := r.tiles()
+		occ.SetPoints(pts, true)
+		cur[r.ID] = pts
+	}
+
+	type pending struct {
+		id     TaskID
+		shape  int
+		at     grid.Point
+		target []grid.Point
+	}
+	var todo []pending
+	for i, r := range residents {
+		p := target.Placements[i]
+		if p.At == r.At && p.ShapeIndex == r.Shape {
+			continue
+		}
+		todo = append(todo, pending{id: r.ID, shape: p.ShapeIndex, at: p.At, target: p.Tiles()})
+	}
+
+	var moves []Move
+	for len(todo) > 0 {
+		progressed := false
+		for i := 0; i < len(todo); i++ {
+			m := todo[i]
+			// The module's own current tiles don't block its move (it
+			// vacates them atomically during reconfiguration).
+			occ.SetPoints(cur[m.id], false)
+			free := !occ.AnyAt(m.target, grid.Pt(0, 0))
+			if !free {
+				occ.SetPoints(cur[m.id], true)
+				continue
+			}
+			occ.SetPoints(m.target, true)
+			cur[m.id] = m.target
+			moves = append(moves, Move{ID: m.id, Shape: m.shape, At: m.at})
+			todo = append(todo[:i], todo[i+1:]...)
+			progressed = true
+			i--
+		}
+		if !progressed {
+			return nil, target, fmt.Errorf("online: compaction blocked by a relocation cycle (%d modules)", len(todo))
+		}
+	}
+	return moves, target, nil
+}
+
+// ApplyMoves replays a move plan over a residency snapshot, validating
+// each step (resource match, bounds, no overlap at the time of the
+// move). It returns the final residency. This is the simulation-side
+// counterpart of PlanCompaction and is used by tests and callers that
+// maintain their own occupancy.
+func ApplyMoves(region *fabric.Region, residents []Resident, moves []Move) ([]Resident, error) {
+	byID := make(map[TaskID]int, len(residents))
+	occ := grid.NewBitmap(region.W(), region.H())
+	out := make([]Resident, len(residents))
+	copy(out, residents)
+	for i, r := range out {
+		byID[r.ID] = i
+		occ.SetPoints(r.tiles(), true)
+	}
+	for _, m := range moves {
+		i, ok := byID[m.ID]
+		if !ok {
+			return nil, fmt.Errorf("online: move for unknown resident %d", m.ID)
+		}
+		r := out[i]
+		occ.SetPoints(r.tiles(), false)
+		next := Resident{ID: r.ID, Module: r.Module, Shape: m.Shape, At: m.At}
+		pts, err := validatePlacement(region, occ, next.Module, Placement{Shape: m.Shape, At: m.At})
+		if err != nil {
+			return nil, fmt.Errorf("online: move of %d invalid: %w", m.ID, err)
+		}
+		occ.SetPoints(pts, true)
+		out[i] = next
+	}
+	return out, nil
+}

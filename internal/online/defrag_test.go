@@ -1,0 +1,139 @@
+package online
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+func fragmentedResidents() []Resident {
+	// A deliberately fragmented layout on a 6x10 region: modules spread
+	// upward with gaps. Current height = 9.
+	return []Resident{
+		{ID: 1, Module: clbModule("a", 2, 2), Shape: 0, At: grid.Pt(0, 0)},
+		{ID: 2, Module: clbModule("b", 2, 2), Shape: 0, At: grid.Pt(4, 3)},
+		{ID: 3, Module: clbModule("c", 2, 2), Shape: 0, At: grid.Pt(1, 5)},
+		{ID: 4, Module: clbModule("d", 2, 2), Shape: 0, At: grid.Pt(3, 7)},
+	}
+}
+
+func TestPlanCompactionLowersHeight(t *testing.T) {
+	region := fabric.Homogeneous(6, 10).FullRegion()
+	residents := fragmentedResidents()
+	moves, target, err := PlanCompaction(region, residents, core.Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.Height >= 9 {
+		t.Fatalf("target height %d not better than 9", target.Height)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves planned despite fragmentation")
+	}
+	// Replaying the moves must be step-by-step valid and reach the
+	// target height.
+	final, err := ApplyMoves(region, residents, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := 0
+	for _, r := range final {
+		if h := r.At.Y + r.Module.Shape(r.Shape).H(); h > top {
+			top = h
+		}
+	}
+	if top != target.Height {
+		t.Fatalf("replayed height %d != target %d", top, target.Height)
+	}
+}
+
+func TestPlanCompactionAlreadyTight(t *testing.T) {
+	region := fabric.Homogeneous(4, 8).FullRegion()
+	residents := []Resident{
+		{ID: 1, Module: clbModule("a", 2, 2), Shape: 0, At: grid.Pt(0, 0)},
+		{ID: 2, Module: clbModule("b", 2, 2), Shape: 0, At: grid.Pt(2, 0)},
+	}
+	moves, target, err := PlanCompaction(region, residents, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("moves planned for optimal layout: %v", moves)
+	}
+	if target == nil || target.Height != 2 {
+		t.Fatalf("target: %v", target)
+	}
+}
+
+func TestPlanCompactionErrors(t *testing.T) {
+	region := fabric.Homogeneous(4, 4).FullRegion()
+	if _, _, err := PlanCompaction(region, nil, core.Options{}); err == nil {
+		t.Error("empty residency accepted")
+	}
+	bad := []Resident{{ID: 1, Module: clbModule("a", 1, 1), Shape: 5, At: grid.Pt(0, 0)}}
+	if _, _, err := PlanCompaction(region, bad, core.Options{}); err == nil {
+		t.Error("invalid shape index accepted")
+	}
+	dup := []Resident{
+		{ID: 1, Module: clbModule("a", 1, 1), Shape: 0, At: grid.Pt(0, 0)},
+		{ID: 1, Module: clbModule("b", 1, 1), Shape: 0, At: grid.Pt(2, 2)},
+	}
+	if _, _, err := PlanCompaction(region, dup, core.Options{}); err == nil {
+		t.Error("duplicate resident accepted")
+	}
+	nilMod := []Resident{{ID: 1, Shape: 0, At: grid.Pt(0, 0)}}
+	if _, _, err := PlanCompaction(region, nilMod, core.Options{}); err == nil {
+		t.Error("nil module accepted")
+	}
+}
+
+func TestApplyMovesValidation(t *testing.T) {
+	region := fabric.Homogeneous(4, 4).FullRegion()
+	residents := []Resident{
+		{ID: 1, Module: clbModule("a", 2, 2), Shape: 0, At: grid.Pt(0, 0)},
+		{ID: 2, Module: clbModule("b", 2, 2), Shape: 0, At: grid.Pt(2, 0)},
+	}
+	// Moving a onto b must fail.
+	if _, err := ApplyMoves(region, residents, []Move{{ID: 1, Shape: 0, At: grid.Pt(2, 0)}}); err == nil {
+		t.Error("overlapping move accepted")
+	}
+	// Unknown resident.
+	if _, err := ApplyMoves(region, residents, []Move{{ID: 9, Shape: 0, At: grid.Pt(0, 2)}}); err == nil {
+		t.Error("unknown resident accepted")
+	}
+	// A valid move.
+	out, err := ApplyMoves(region, residents, []Move{{ID: 1, Shape: 0, At: grid.Pt(0, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].At != grid.Pt(0, 2) {
+		t.Fatalf("move not applied: %+v", out[0])
+	}
+	// Originals untouched.
+	if residents[0].At != grid.Pt(0, 0) {
+		t.Fatal("ApplyMoves mutated input")
+	}
+}
+
+func TestPlanCompactionDeterministic(t *testing.T) {
+	region := fabric.Homogeneous(6, 10).FullRegion()
+	a, _, err := PlanCompaction(region, fragmentedResidents(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := PlanCompaction(region, fragmentedResidents(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic plan length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/module"
+	"repro/internal/workload"
+)
+
+// StreamConfig parameterises task-stream generation.
+type StreamConfig struct {
+	// Tasks is the number of arrivals (default 100).
+	Tasks int
+	// Library is the module-demand recipe; modules are drawn fresh per
+	// task from this workload configuration (zero = a moderate recipe
+	// suited to online churn: 8–40 CLBs, 0–2 BRAM, 4 alternatives).
+	Library workload.Config
+	// MeanInterarrival is the mean gap between arrivals (default 8).
+	MeanInterarrival int
+	// MeanDuration is the mean residency (default 60) — a mean load of
+	// MeanDuration/MeanInterarrival concurrent tasks.
+	MeanDuration int
+}
+
+func (c StreamConfig) defaults() StreamConfig {
+	if c.Tasks == 0 {
+		c.Tasks = 100
+	}
+	if c.Library.NumModules == 0 {
+		c.Library = workload.Config{
+			NumModules: 1,
+			CLBMin:     8, CLBMax: 40,
+			BRAMMax:      2,
+			Alternatives: 4,
+		}
+	}
+	c.Library.NumModules = 1
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = 8
+	}
+	if c.MeanDuration == 0 {
+		c.MeanDuration = 60
+	}
+	return c
+}
+
+// GenerateStream draws a seeded task stream: geometric interarrival
+// gaps and geometric durations around the configured means, each task
+// carrying a freshly generated module.
+func GenerateStream(cfg StreamConfig, rng *rand.Rand) ([]Task, error) {
+	cfg = cfg.defaults()
+	geometric := func(mean int) int64 {
+		if mean <= 1 {
+			return 1
+		}
+		// Geometric with success probability 1/mean, support >= 1.
+		n := int64(1)
+		for rng.Float64() > 1.0/float64(mean) && n < int64(mean*10) {
+			n++
+		}
+		return n
+	}
+	tasks := make([]Task, 0, cfg.Tasks)
+	now := int64(0)
+	for i := 0; i < cfg.Tasks; i++ {
+		mods, err := workload.Generate(cfg.Library, rng)
+		if err != nil {
+			return nil, fmt.Errorf("online: task %d: %w", i, err)
+		}
+		m, err := renameModule(mods[0], fmt.Sprintf("t%03d", i))
+		if err != nil {
+			return nil, err
+		}
+		now += geometric(cfg.MeanInterarrival)
+		tasks = append(tasks, Task{
+			ID:       TaskID(i),
+			Module:   m,
+			Arrive:   now,
+			Duration: geometric(cfg.MeanDuration),
+		})
+	}
+	return tasks, nil
+}
+
+func renameModule(m *module.Module, name string) (*module.Module, error) {
+	return module.NewModule(name, m.Shapes()...)
+}

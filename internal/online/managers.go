@@ -1,0 +1,338 @@
+package online
+
+import (
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+// residentRec tracks one placed task inside a manager.
+type residentRec struct {
+	module *module.Module
+	shape  int
+	at     grid.Point
+	pts    []grid.Point
+}
+
+// base carries the bookkeeping shared by all managers: the region, an
+// occupancy mirror, per-shape anchor caches (the fused M_a ∧ M_b
+// constraint, cached by shape fingerprint since tasks reuse module
+// layouts), and the resident-task table.
+type base struct {
+	region   *fabric.Region
+	occ      *grid.Bitmap
+	anchors  map[string]*grid.Bitmap
+	resident map[TaskID]residentRec
+}
+
+func (b *base) reset(region *fabric.Region) {
+	b.region = region
+	b.occ = grid.NewBitmap(region.W(), region.H())
+	b.anchors = map[string]*grid.Bitmap{}
+	b.resident = map[TaskID]residentRec{}
+}
+
+func (b *base) anchorsFor(s *module.Shape) *grid.Bitmap {
+	if a, ok := b.anchors[s.Key()]; ok {
+		return a
+	}
+	a := core.ValidAnchors(b.region, s)
+	b.anchors[s.Key()] = a
+	return a
+}
+
+// freeAt reports whether shape s can go at (x, y): anchor valid and all
+// tiles unoccupied.
+func (b *base) freeAt(s *module.Shape, x, y int) bool {
+	if !b.anchorsFor(s).Get(x, y) {
+		return false
+	}
+	return !b.occ.AnyAt(s.Points(), grid.Pt(x, y))
+}
+
+func (b *base) commit(id TaskID, m *module.Module, si, x, y int) {
+	s := m.Shape(si)
+	pts := make([]grid.Point, 0, s.Size())
+	for _, p := range s.Points() {
+		pts = append(pts, p.Add(grid.Pt(x, y)))
+	}
+	b.occ.SetPoints(pts, true)
+	b.resident[id] = residentRec{module: m, shape: si, at: grid.Pt(x, y), pts: pts}
+}
+
+// Release implements Manager.
+func (b *base) Release(id TaskID) {
+	rec, ok := b.resident[id]
+	if !ok {
+		return
+	}
+	delete(b.resident, id)
+	b.occ.SetPoints(rec.pts, false)
+}
+
+// shapeRange returns the shape indices a manager may use.
+func shapeRange(m *module.Module, useAlternatives bool) int {
+	if useAlternatives {
+		return m.NumShapes()
+	}
+	return 1
+}
+
+// FirstFit is free-space management with bottom-left first-fit: the
+// classic online policy (the "free space management" pole of the
+// paper's classification).
+type FirstFit struct {
+	base
+	// UseAlternatives lets the manager pick among design alternatives.
+	UseAlternatives bool
+}
+
+// Name implements Manager.
+func (m *FirstFit) Name() string {
+	if m.UseAlternatives {
+		return "first-fit+alternatives"
+	}
+	return "first-fit"
+}
+
+// Reset implements Manager.
+func (m *FirstFit) Reset(region *fabric.Region) { m.reset(region) }
+
+// TryPlace implements Manager.
+func (m *FirstFit) TryPlace(t Task) (Placement, bool) {
+	n := shapeRange(t.Module, m.UseAlternatives)
+	for y := 0; y < m.region.H(); y++ {
+		for x := 0; x < m.region.W(); x++ {
+			for si := 0; si < n; si++ {
+				s := t.Module.Shape(si)
+				if m.freeAt(s, x, y) {
+					m.commit(t.ID, t.Module, si, x, y)
+					return Placement{Shape: si, At: grid.Pt(x, y)}, true
+				}
+			}
+		}
+	}
+	return Placement{}, false
+}
+
+// BestFitMER is free-space management with maximal-empty-rectangle
+// best-fit, after Bazargan et al. [4]: the free space is decomposed into
+// maximal empty rectangles and the module goes into the rectangle whose
+// area exceeds the module's bounding box by the least.
+type BestFitMER struct {
+	base
+	UseAlternatives bool
+}
+
+// Name implements Manager.
+func (m *BestFitMER) Name() string {
+	if m.UseAlternatives {
+		return "mer-best-fit+alternatives"
+	}
+	return "mer-best-fit"
+}
+
+// Reset implements Manager.
+func (m *BestFitMER) Reset(region *fabric.Region) { m.reset(region) }
+
+// TryPlace implements Manager.
+func (m *BestFitMER) TryPlace(t Task) (Placement, bool) {
+	mers := MaximalEmptyRects(m.region, m.occ)
+	n := shapeRange(t.Module, m.UseAlternatives)
+	bestWaste := 1 << 60
+	var best Placement
+	found := false
+	for _, r := range mers {
+		for si := 0; si < n; si++ {
+			s := t.Module.Shape(si)
+			if s.W() > r.W() || s.H() > r.H() {
+				continue
+			}
+			waste := r.Area() - s.W()*s.H()
+			if found && waste >= bestWaste {
+				continue
+			}
+			// Heterogeneity: the rectangle is geometrically free but the
+			// shape's resource pattern may only align at some anchors
+			// inside it — scan bottom-left within the rectangle.
+			if x, y, ok := m.anchorInRect(s, r); ok {
+				bestWaste = waste
+				best = Placement{Shape: si, At: grid.Pt(x, y)}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return Placement{}, false
+	}
+	m.commit(t.ID, t.Module, best.Shape, best.At.X, best.At.Y)
+	return best, true
+}
+
+func (m *BestFitMER) anchorInRect(s *module.Shape, r grid.Rect) (int, int, bool) {
+	va := m.anchorsFor(s)
+	for y := r.MinY; y+s.H() <= r.MaxY; y++ {
+		for x := r.MinX; x+s.W() <= r.MaxX; x++ {
+			// Tiles inside a maximal empty rect are unoccupied by
+			// construction; only anchor validity needs checking.
+			if va.Get(x, y) {
+				return x, y, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// OccupiedSpace is occupied-space management after Ahmadinia et al. [5]:
+// candidate positions are derived from the boundaries of the already
+// placed modules (and the region border) instead of scanning all free
+// space; the bottom-left-most adjacent position wins. This both shrinks
+// the candidate set and packs modules against each other.
+type OccupiedSpace struct {
+	base
+	UseAlternatives bool
+}
+
+// Name implements Manager.
+func (m *OccupiedSpace) Name() string {
+	if m.UseAlternatives {
+		return "occupied-space+alternatives"
+	}
+	return "occupied-space"
+}
+
+// Reset implements Manager.
+func (m *OccupiedSpace) Reset(region *fabric.Region) { m.reset(region) }
+
+// TryPlace implements Manager.
+func (m *OccupiedSpace) TryPlace(t Task) (Placement, bool) {
+	n := shapeRange(t.Module, m.UseAlternatives)
+	for y := 0; y < m.region.H(); y++ {
+		for x := 0; x < m.region.W(); x++ {
+			for si := 0; si < n; si++ {
+				s := t.Module.Shape(si)
+				if m.freeAt(s, x, y) && m.touches(s, x, y) {
+					m.commit(t.ID, t.Module, si, x, y)
+					return Placement{Shape: si, At: grid.Pt(x, y)}, true
+				}
+			}
+		}
+	}
+	return Placement{}, false
+}
+
+// touches reports whether the shape at (x, y) abuts the region border or
+// an occupied tile — the "managed" positions of occupied-space policies.
+func (m *OccupiedSpace) touches(s *module.Shape, x, y int) bool {
+	for _, p := range s.Points() {
+		ax, ay := p.X+x, p.Y+y
+		if ax == 0 || ay == 0 || ax == m.region.W()-1 || ay == m.region.H()-1 {
+			return true
+		}
+		if m.occ.Get(ax-1, ay) || m.occ.Get(ax+1, ay) ||
+			m.occ.Get(ax, ay-1) || m.occ.Get(ax, ay+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Slot1D is 1D slot-style placement: the region is pre-partitioned into
+// fixed-width, full-height slots and every module exclusively reserves a
+// contiguous run of slots — the coarse model of early reconfigurable
+// systems the paper's classification contrasts with 2D placement. The
+// reserved-but-unused area is internal fragmentation.
+type Slot1D struct {
+	base
+	// SlotWidth is the width of one slot in tiles (default 8).
+	SlotWidth       int
+	UseAlternatives bool
+
+	slotBusy []bool
+	slotOf   map[TaskID][]int
+}
+
+// Name implements Manager.
+func (m *Slot1D) Name() string { return "1d-slots" }
+
+// Reset implements Manager.
+func (m *Slot1D) Reset(region *fabric.Region) {
+	m.reset(region)
+	if m.SlotWidth <= 0 {
+		m.SlotWidth = 8
+	}
+	m.slotBusy = make([]bool, region.W()/m.SlotWidth)
+	m.slotOf = map[TaskID][]int{}
+}
+
+// TryPlace implements Manager.
+func (m *Slot1D) TryPlace(t Task) (Placement, bool) {
+	n := shapeRange(t.Module, m.UseAlternatives)
+	for si := 0; si < n; si++ {
+		s := t.Module.Shape(si)
+		need := (s.W() + m.SlotWidth - 1) / m.SlotWidth
+		for first := 0; first+need <= len(m.slotBusy); first++ {
+			if !m.slotsFree(first, need) {
+				continue
+			}
+			// The module may sit anywhere inside its reserved slots; the
+			// fabric's resource pattern decides which anchors work.
+			lo := first * m.SlotWidth
+			hi := (first+need)*m.SlotWidth - s.W()
+			for y := 0; y+s.H() <= m.region.H(); y++ {
+				for x := lo; x <= hi; x++ {
+					if m.freeAt(s, x, y) {
+						m.commit(t.ID, t.Module, si, x, y)
+						for i := first; i < first+need; i++ {
+							m.slotBusy[i] = true
+						}
+						m.slotOf[t.ID] = append(m.slotOf[t.ID], rangeInts(first, need)...)
+						return Placement{Shape: si, At: grid.Pt(x, y)}, true
+					}
+				}
+			}
+		}
+	}
+	return Placement{}, false
+}
+
+func (m *Slot1D) slotsFree(first, need int) bool {
+	for i := first; i < first+need; i++ {
+		if m.slotBusy[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Release implements Manager.
+func (m *Slot1D) Release(id TaskID) {
+	m.base.Release(id)
+	for _, i := range m.slotOf[id] {
+		m.slotBusy[i] = false
+	}
+	delete(m.slotOf, id)
+}
+
+func rangeInts(first, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = first + i
+	}
+	return out
+}
+
+// Managers returns one instance of every policy, with and without design
+// alternatives where the policy supports them.
+func Managers() []Manager {
+	return []Manager{
+		&FirstFit{},
+		&FirstFit{UseAlternatives: true},
+		&BestFitMER{},
+		&BestFitMER{UseAlternatives: true},
+		&OccupiedSpace{},
+		&OccupiedSpace{UseAlternatives: true},
+		&Slot1D{},
+	}
+}

@@ -1,0 +1,79 @@
+package online
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+// MaximalEmptyRects enumerates all maximal empty rectangles of the
+// region: axis-aligned rectangles of placeable, unoccupied tiles that
+// cannot be extended in any direction. This is the free-space
+// decomposition of Bazargan-style online placement.
+//
+// The algorithm sweeps rows with a free-run histogram and emits, at each
+// row, the rectangles that are maximal in width for their height (the
+// monotonic-stack method); a containment pass then removes rectangles
+// covered by larger ones. Complexity is O(W·H) candidates with an
+// O(n²) filter, ample for region-scale inputs.
+func MaximalEmptyRects(region *fabric.Region, occ *grid.Bitmap) []grid.Rect {
+	w, h := region.W(), region.H()
+	free := func(x, y int) bool {
+		return region.PlaceableAt(x, y) && !occ.Get(x, y)
+	}
+
+	heights := make([]int, w)
+	var cands []grid.Rect
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if free(x, y) {
+				heights[x]++
+			} else {
+				heights[x] = 0
+			}
+		}
+		// A rectangle candidate is maximal downward and sideways when it
+		// pops from the stack; it is maximal upward if the row above
+		// does not extend it — checked by the containment filter.
+		type entry struct{ start, height int }
+		var stack []entry
+		for x := 0; x <= w; x++ {
+			cur := 0
+			if x < w {
+				cur = heights[x]
+			}
+			start := x
+			for len(stack) > 0 && stack[len(stack)-1].height > cur {
+				e := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				cands = append(cands, grid.Rect{
+					MinX: e.start, MinY: y - e.height + 1,
+					MaxX: x, MaxY: y + 1,
+				})
+				start = e.start
+			}
+			if cur > 0 && (len(stack) == 0 || stack[len(stack)-1].height < cur) {
+				stack = append(stack, entry{start, cur})
+			}
+		}
+	}
+
+	// Containment filter: drop rectangles contained in another.
+	out := cands[:0]
+	for i, r := range cands {
+		maximal := true
+		for j, s := range cands {
+			if i != j && s.Contains(r) && s != r {
+				maximal = false
+				break
+			}
+			if i > j && s == r {
+				maximal = false // duplicate
+				break
+			}
+		}
+		if maximal {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+func TestMaximalEmptyRectsEmptyRegion(t *testing.T) {
+	region := fabric.Homogeneous(6, 4).FullRegion()
+	occ := grid.NewBitmap(6, 4)
+	mers := MaximalEmptyRects(region, occ)
+	if len(mers) != 1 {
+		t.Fatalf("mers = %v, want one full rect", mers)
+	}
+	if mers[0] != grid.RectXYWH(0, 0, 6, 4) {
+		t.Fatalf("mer = %v", mers[0])
+	}
+}
+
+func TestMaximalEmptyRectsSplit(t *testing.T) {
+	region := fabric.Homogeneous(5, 5).FullRegion()
+	occ := grid.NewBitmap(5, 5)
+	occ.SetRect(grid.RectXYWH(2, 2, 1, 1), true) // single blocker in the centre
+	mers := MaximalEmptyRects(region, occ)
+	// Four maximal rects around a centre blocker: left 2x5, right 2x5,
+	// bottom 5x2, top 5x2.
+	want := map[grid.Rect]bool{
+		grid.RectXYWH(0, 0, 2, 5): true,
+		grid.RectXYWH(3, 0, 2, 5): true,
+		grid.RectXYWH(0, 0, 5, 2): true,
+		grid.RectXYWH(0, 3, 5, 2): true,
+	}
+	if len(mers) != len(want) {
+		t.Fatalf("mers = %v", mers)
+	}
+	for _, r := range mers {
+		if !want[r] {
+			t.Fatalf("unexpected mer %v in %v", r, mers)
+		}
+	}
+}
+
+func TestMaximalEmptyRectsFullyOccupied(t *testing.T) {
+	region := fabric.Homogeneous(3, 3).FullRegion()
+	occ := grid.NewBitmap(3, 3)
+	occ.SetRect(grid.RectXYWH(0, 0, 3, 3), true)
+	if mers := MaximalEmptyRects(region, occ); len(mers) != 0 {
+		t.Fatalf("mers = %v, want none", mers)
+	}
+}
+
+func TestMaximalEmptyRectsRespectPlaceability(t *testing.T) {
+	// A static column splits the free space even with empty occupancy.
+	dev := fabric.Homogeneous(5, 3)
+	dev.MaskStatic(grid.RectXYWH(2, 0, 1, 3))
+	region := dev.FullRegion()
+	mers := MaximalEmptyRects(region, grid.NewBitmap(5, 3))
+	want := map[grid.Rect]bool{
+		grid.RectXYWH(0, 0, 2, 3): true,
+		grid.RectXYWH(3, 0, 2, 3): true,
+	}
+	if len(mers) != 2 {
+		t.Fatalf("mers = %v", mers)
+	}
+	for _, r := range mers {
+		if !want[r] {
+			t.Fatalf("unexpected mer %v", r)
+		}
+	}
+}
+
+// Properties: every returned rect is empty, maximal, and every free tile
+// is covered by some rect.
+func TestMaximalEmptyRectsProperties(t *testing.T) {
+	region := fabric.Homogeneous(8, 8).FullRegion()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		occ := grid.NewBitmap(8, 8)
+		for i := 0; i < int(n%40); i++ {
+			occ.Set(rng.Intn(8), rng.Intn(8), true)
+		}
+		mers := MaximalEmptyRects(region, occ)
+		// Emptiness.
+		for _, r := range mers {
+			for _, p := range r.Points() {
+				if occ.Get(p.X, p.Y) {
+					return false
+				}
+			}
+		}
+		// Maximality: growing any rect by one in any direction hits an
+		// occupied/out-of-range tile.
+		grow := func(r grid.Rect, dx0, dy0, dx1, dy1 int) grid.Rect {
+			return grid.Rect{MinX: r.MinX + dx0, MinY: r.MinY + dy0, MaxX: r.MaxX + dx1, MaxY: r.MaxY + dy1}
+		}
+		ok := func(r grid.Rect) bool {
+			if !region.Bounds().Contains(r) {
+				return false
+			}
+			for _, p := range r.Points() {
+				if occ.Get(p.X, p.Y) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, r := range mers {
+			for _, g := range []grid.Rect{
+				grow(r, -1, 0, 0, 0), grow(r, 0, -1, 0, 0),
+				grow(r, 0, 0, 1, 0), grow(r, 0, 0, 0, 1),
+			} {
+				if ok(g) {
+					return false
+				}
+			}
+		}
+		// Coverage.
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				if occ.Get(x, y) {
+					continue
+				}
+				covered := false
+				for _, r := range mers {
+					if grid.Pt(x, y).In(r) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

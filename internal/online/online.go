@@ -1,0 +1,252 @@
+// Package online simulates online module placement on a reconfigurable
+// region: tasks (module instances) arrive and depart at run time and a
+// space manager decides, per arrival, where — and whether — the module
+// can be placed. It implements the management strategies the paper's
+// related-work section classifies: free-space management (first-fit and
+// maximal-empty-rectangle best-fit, after Bazargan et al. [4]),
+// occupied-space management (adjacency-guided, after Ahmadinia et
+// al. [5]), and 1D slot-style placement; all against the same
+// heterogeneous fabric model as the offline placer.
+//
+// The simulator measures service level (fraction of arrivals placed),
+// time-weighted utilization and fragmentation, and configuration-port
+// cost — the quantities that motivate the paper's offline,
+// alternatives-aware approach.
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/module"
+)
+
+// TaskID identifies a task within one simulation.
+type TaskID int
+
+// Task is one module instance with an arrival time and a residency
+// duration, in abstract time units.
+type Task struct {
+	ID       TaskID
+	Module   *module.Module
+	Arrive   int64
+	Duration int64
+}
+
+// Placement is a manager's decision: which design alternative at which
+// anchor.
+type Placement struct {
+	Shape int
+	At    grid.Point
+}
+
+// Manager is an online placement policy. Reset is called once per
+// simulation with the region; TryPlace must return a placement that the
+// manager itself considers valid (the simulator independently verifies
+// it); Release frees a previously placed task.
+type Manager interface {
+	Name() string
+	Reset(region *fabric.Region)
+	TryPlace(t Task) (Placement, bool)
+	Release(id TaskID)
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Offered  int
+	Accepted int
+	Rejected int
+	// ServiceLevel is Accepted/Offered — the paper's "amount of module
+	// requests that can be fulfilled".
+	ServiceLevel float64
+	// MeanUtil is the time-weighted fraction of placeable tiles carrying
+	// module logic while at least one task is resident.
+	MeanUtil float64
+	// PeakUtil is the maximum instantaneous utilization.
+	PeakUtil float64
+	// MeanFrag is the mean free-space fragmentation sampled at arrivals.
+	MeanFrag float64
+	// TotalReconfig is the summed configuration-port time of all
+	// accepted placements and relocations.
+	TotalReconfig time.Duration
+	// Moves counts relocations of resident modules (defragmentation).
+	Moves int
+	// Horizon is the simulated time span.
+	Horizon int64
+}
+
+// String summarises the stats.
+func (s *Stats) String() string {
+	return fmt.Sprintf("service=%.1f%% util=%.1f%% peak=%.1f%% frag=%.2f reconfig=%v (%d/%d accepted)",
+		s.ServiceLevel*100, s.MeanUtil*100, s.PeakUtil*100, s.MeanFrag,
+		s.TotalReconfig, s.Accepted, s.Offered)
+}
+
+// departure is a pending release in the event heap.
+type departure struct {
+	at time.Duration
+	t  int64
+	id TaskID
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate runs the task stream through the manager on region. The
+// frame model prices accepted placements' reconfiguration; pass the zero
+// FrameModel's replacement, fabric.DefaultFrameModel(), for realistic
+// numbers. The simulator keeps its own occupancy and rejects the run
+// with an error if the manager ever returns an invalid or overlapping
+// placement — manager bugs must not masquerade as good service.
+func Simulate(region *fabric.Region, mgr Manager, tasks []Task, fm fabric.FrameModel) (*Stats, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := make([]Task, len(tasks))
+	copy(sorted, tasks)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrive < sorted[j].Arrive })
+
+	mgr.Reset(region)
+	occ := grid.NewBitmap(region.W(), region.H())
+	resident := map[TaskID][]grid.Point{}
+	residentMod := map[TaskID]*module.Module{}
+	var deps departureHeap
+
+	stats := &Stats{}
+	placeable := region.PlaceableCount()
+	var utilIntegral float64 // occupied-tiles × time
+	var lastT int64
+	occupiedNow := 0
+	var fragSamples []float64
+
+	advance := func(t int64) {
+		if t > lastT {
+			utilIntegral += float64(occupiedNow) * float64(t-lastT)
+			lastT = t
+		}
+	}
+	release := func(id TaskID) {
+		pts := resident[id]
+		delete(resident, id)
+		delete(residentMod, id)
+		occ.SetPoints(pts, false)
+		occupiedNow -= len(pts)
+		mgr.Release(id)
+	}
+
+	for _, task := range sorted {
+		// Process departures up to the arrival instant (inclusive: a
+		// task departing at t frees space for an arrival at t).
+		for len(deps) > 0 && deps[0].t <= task.Arrive {
+			d := heap.Pop(&deps).(departure)
+			advance(d.t)
+			release(d.id)
+		}
+		advance(task.Arrive)
+
+		stats.Offered++
+		fragSamples = append(fragSamples, metrics.Fragmentation(region, occ))
+		p, ok := mgr.TryPlace(task)
+		// Apply any relocations the manager performed for this arrival —
+		// they precede the newcomer's configuration and are priced like
+		// any other reconfiguration.
+		if mr, isMR := mgr.(MoveReporter); isMR {
+			for _, mv := range mr.PendingMoves() {
+				rec, live := residentMod[mv.ID]
+				if !live {
+					return nil, fmt.Errorf("online: manager %s moved unknown task %d", mgr.Name(), mv.ID)
+				}
+				occ.SetPoints(resident[mv.ID], false)
+				occupiedNow -= len(resident[mv.ID])
+				pts, err := validatePlacement(region, occ, rec, Placement{Shape: mv.Shape, At: mv.At})
+				if err != nil {
+					return nil, fmt.Errorf("online: manager %s move of %d: %w", mgr.Name(), mv.ID, err)
+				}
+				occ.SetPoints(pts, true)
+				occupiedNow += len(pts)
+				resident[mv.ID] = pts
+				stats.Moves++
+				shape := rec.Shape(mv.Shape)
+				frames := fm.FrameCount(region, grid.RectXYWH(mv.At.X, mv.At.Y, shape.W(), shape.H()))
+				stats.TotalReconfig += fm.ReconfigTime(frames)
+			}
+		}
+		if !ok {
+			stats.Rejected++
+			continue
+		}
+		pts, err := validatePlacement(region, occ, task.Module, p)
+		if err != nil {
+			return nil, fmt.Errorf("online: manager %s task %d: %w", mgr.Name(), task.ID, err)
+		}
+		occ.SetPoints(pts, true)
+		occupiedNow += len(pts)
+		resident[task.ID] = pts
+		residentMod[task.ID] = task.Module
+		stats.Accepted++
+
+		shape := task.Module.Shape(p.Shape)
+		frames := fm.FrameCount(region, grid.RectXYWH(p.At.X, p.At.Y, shape.W(), shape.H()))
+		stats.TotalReconfig += fm.ReconfigTime(frames)
+		if u := float64(occupiedNow) / float64(placeable); u > stats.PeakUtil {
+			stats.PeakUtil = u
+		}
+		heap.Push(&deps, departure{t: task.Arrive + task.Duration, id: task.ID})
+	}
+	// Drain.
+	for len(deps) > 0 {
+		d := heap.Pop(&deps).(departure)
+		advance(d.t)
+		release(d.id)
+	}
+
+	stats.Horizon = lastT
+	if stats.Offered > 0 {
+		stats.ServiceLevel = float64(stats.Accepted) / float64(stats.Offered)
+	}
+	if lastT > 0 && placeable > 0 {
+		stats.MeanUtil = utilIntegral / (float64(placeable) * float64(lastT))
+	}
+	stats.MeanFrag = metrics.Summarize(fragSamples).Mean
+	return stats, nil
+}
+
+// validatePlacement checks M_a, M_b and M_c for one online placement and
+// returns the absolute tiles on success.
+func validatePlacement(region *fabric.Region, occ *grid.Bitmap, m *module.Module, p Placement) ([]grid.Point, error) {
+	if p.Shape < 0 || p.Shape >= m.NumShapes() {
+		return nil, fmt.Errorf("shape index %d out of range", p.Shape)
+	}
+	shape := m.Shape(p.Shape)
+	pts := make([]grid.Point, 0, shape.Size())
+	for _, t := range shape.Tiles() {
+		x, y := p.At.X+t.At.X, p.At.Y+t.At.Y
+		if x < 0 || y < 0 || x >= region.W() || y >= region.H() {
+			return nil, fmt.Errorf("tile (%d,%d) outside region", x, y)
+		}
+		if region.KindAt(x, y) != t.Kind {
+			return nil, fmt.Errorf("tile (%d,%d) resource mismatch: %s on %s", x, y, t.Kind, region.KindAt(x, y))
+		}
+		if occ.Get(x, y) {
+			return nil, fmt.Errorf("tile (%d,%d) already occupied", x, y)
+		}
+		pts = append(pts, grid.Pt(x, y))
+	}
+	return pts, nil
+}

@@ -1,0 +1,128 @@
+package online
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+// MoveReporter is an optional Manager extension: a manager that
+// relocates already-resident modules (defragmentation) exposes the
+// relocation moves of its last TryPlace here. The simulator drains the
+// moves after every TryPlace, validates each step, and charges the
+// configuration port for them — relocation is not free.
+type MoveReporter interface {
+	PendingMoves() []Move
+}
+
+// ReplanFirstFit is first-fit with CP-driven defragmentation: when
+// greedy first-fit cannot place an arrival, the constraint-programming
+// placer computes a fresh layout for all residents plus the newcomer,
+// the relocations are ordered so every intermediate state is valid, and
+// the arrival is admitted into the compacted layout. This brings the
+// offline placer's strength — including design alternatives — to the
+// online setting, at the price of relocation reconfigurations.
+type ReplanFirstFit struct {
+	FirstFit
+	// Budget configures each replan solve (FirstSolutionOnly is forced).
+	Budget core.Options
+
+	pending []Move
+}
+
+// Name implements Manager.
+func (m *ReplanFirstFit) Name() string { return "first-fit+cp-replan" }
+
+// PendingMoves implements MoveReporter.
+func (m *ReplanFirstFit) PendingMoves() []Move {
+	out := m.pending
+	m.pending = nil
+	return out
+}
+
+// TryPlace implements Manager.
+func (m *ReplanFirstFit) TryPlace(t Task) (Placement, bool) {
+	if p, ok := m.FirstFit.TryPlace(t); ok {
+		return p, ok
+	}
+	return m.replan(t)
+}
+
+// replan computes a joint layout of residents + newcomer and derives an
+// ordered relocation plan.
+func (m *ReplanFirstFit) replan(t Task) (Placement, bool) {
+	// Deterministic resident order.
+	ids := make([]TaskID, 0, len(m.resident))
+	for id := range m.resident {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	mods := make([]*module.Module, 0, len(ids)+1)
+	for _, id := range ids {
+		mods = append(mods, m.resident[id].module)
+	}
+	mods = append(mods, t.Module)
+
+	budget := m.Budget
+	budget.FirstSolutionOnly = true
+	target, err := core.New(m.region, budget).Place(mods)
+	if err != nil || !target.Found {
+		return Placement{}, false
+	}
+
+	// Order the resident relocations (the newcomer configures last, onto
+	// cells that are free once all moves are applied).
+	type pendingMove struct {
+		id     TaskID
+		shape  int
+		at     grid.Point
+		target []grid.Point
+	}
+	occ := m.occ.Clone()
+	cur := map[TaskID][]grid.Point{}
+	var todo []pendingMove
+	for i, id := range ids {
+		p := target.Placements[i]
+		rec := m.resident[id]
+		cur[id] = rec.pts
+		if p.At == rec.at && p.ShapeIndex == rec.shape {
+			continue
+		}
+		todo = append(todo, pendingMove{id: id, shape: p.ShapeIndex, at: p.At, target: p.Tiles()})
+	}
+	var moves []Move
+	for len(todo) > 0 {
+		progressed := false
+		for i := 0; i < len(todo); i++ {
+			mv := todo[i]
+			occ.SetPoints(cur[mv.id], false)
+			if occ.AnyAt(mv.target, grid.Pt(0, 0)) {
+				occ.SetPoints(cur[mv.id], true)
+				continue
+			}
+			occ.SetPoints(mv.target, true)
+			cur[mv.id] = mv.target
+			moves = append(moves, Move{ID: mv.id, Shape: mv.shape, At: mv.at})
+			todo = append(todo[:i], todo[i+1:]...)
+			progressed = true
+			i--
+		}
+		if !progressed {
+			return Placement{}, false // relocation cycle: give up
+		}
+	}
+
+	// Commit the plan to the manager's own state.
+	for _, mv := range moves {
+		rec := m.resident[mv.ID]
+		m.occ.SetPoints(rec.pts, false)
+		m.commit(mv.ID, rec.module, mv.Shape, mv.At.X, mv.At.Y)
+	}
+	m.pending = moves
+	newcomer := target.Placements[len(target.Placements)-1]
+	m.commit(t.ID, t.Module, newcomer.ShapeIndex, newcomer.At.X, newcomer.At.Y)
+	return Placement{Shape: newcomer.ShapeIndex, At: newcomer.At}, true
+}

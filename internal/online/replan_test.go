@@ -1,0 +1,129 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+func TestReplanFallsBackToFirstFit(t *testing.T) {
+	region := fabric.Homogeneous(8, 8).FullRegion()
+	mgr := &ReplanFirstFit{FirstFit: FirstFit{UseAlternatives: true}}
+	tasks := []Task{
+		{ID: 0, Module: clbModule("a", 3, 3), Arrive: 0, Duration: 100},
+	}
+	st, err := Simulate(region, mgr, tasks, fabric.DefaultFrameModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != 1 || st.Moves != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReplanDefragmentsToAdmit(t *testing.T) {
+	// An 8x4 region. Three full-height 2x4 columns land side by side;
+	// the middle one departs, leaving two 2-wide gaps (columns 2-3 and
+	// 6-7). A 4x2 bar then arrives: plain first-fit has no 4 contiguous
+	// free columns and rejects it; CP replan slides the right column
+	// left and admits the bar.
+	region := fabric.Homogeneous(8, 4).FullRegion()
+	tasks := []Task{
+		{ID: 0, Module: clbModule("a", 2, 4), Arrive: 0, Duration: 1000},
+		{ID: 1, Module: clbModule("b", 2, 4), Arrive: 1, Duration: 5},
+		{ID: 2, Module: clbModule("c", 2, 4), Arrive: 2, Duration: 1000},
+		{ID: 3, Module: clbModule("bar", 4, 2), Arrive: 50, Duration: 100},
+	}
+	plain, err := Simulate(region, &FirstFit{}, tasks, fabric.DefaultFrameModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Accepted != 3 {
+		t.Fatalf("premise broken: plain accepted %d, want 3", plain.Accepted)
+	}
+	replan, err := Simulate(region, &ReplanFirstFit{
+		Budget: core.Options{Timeout: 5 * time.Second},
+	}, tasks, fabric.DefaultFrameModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replan.Accepted != 4 {
+		t.Fatalf("replan accepted %d, want 4 (moves=%d)", replan.Accepted, replan.Moves)
+	}
+	if replan.Moves == 0 {
+		t.Fatal("replan admitted the bar without any relocation?")
+	}
+}
+
+func TestReplanImprovesServiceOnStream(t *testing.T) {
+	dev := (&fabric.Spec{Name: "t", W: 24, H: 12, BRAMColumns: []int{4, 16}}).MustBuild()
+	region := dev.FullRegion()
+	stream := StreamConfig{Tasks: 60, MeanInterarrival: 2, MeanDuration: 60}
+	stream.Library.CLBMin, stream.Library.CLBMax = 6, 18
+	stream.Library.BRAMMax = 1
+	stream.Library.Alternatives = 4
+	stream.Library.NumModules = 1
+	tasks, err := GenerateStream(stream, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(region, &FirstFit{UseAlternatives: true}, tasks, fabric.DefaultFrameModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replan, err := Simulate(region, &ReplanFirstFit{
+		FirstFit: FirstFit{UseAlternatives: true},
+		Budget:   core.Options{Timeout: 5 * time.Second, StallNodes: 200},
+	}, tasks, fabric.DefaultFrameModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replan.Accepted < plain.Accepted {
+		t.Fatalf("replan (%d) worse than plain (%d)", replan.Accepted, plain.Accepted)
+	}
+	if replan.Moves == 0 && replan.Accepted == plain.Accepted {
+		t.Log("no replans triggered on this stream")
+	}
+	t.Logf("plain=%v replan=%v moves=%d", plain, replan, replan.Moves)
+}
+
+func TestReplanMovesValidatedBySimulator(t *testing.T) {
+	// The simulator revalidates every reported move; a manager lying
+	// about moves must be caught. Use a stub around ReplanFirstFit.
+	region := fabric.Homogeneous(4, 4).FullRegion()
+	mgr := &lyingMover{}
+	tasks := []Task{
+		{ID: 0, Module: clbModule("a", 2, 2), Arrive: 0, Duration: 100},
+		{ID: 1, Module: clbModule("b", 2, 2), Arrive: 1, Duration: 100},
+	}
+	if _, err := Simulate(region, mgr, tasks, fabric.DefaultFrameModel()); err == nil {
+		t.Fatal("invalid move accepted")
+	}
+}
+
+// lyingMover places the first task, then reports a bogus move.
+type lyingMover struct {
+	FirstFit
+	moved bool
+}
+
+func (m *lyingMover) Name() string { return "liar" }
+
+func (m *lyingMover) PendingMoves() []Move {
+	if m.moved {
+		m.moved = false
+		return []Move{{ID: 0, Shape: 0, At: grid.Pt(9, 9)}} // out of range
+	}
+	return nil
+}
+
+func (m *lyingMover) TryPlace(t Task) (Placement, bool) {
+	if t.ID == 1 {
+		m.moved = true
+	}
+	return m.FirstFit.TryPlace(t)
+}

@@ -1,0 +1,126 @@
+package recobus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// Bitstream describes one module's partial configuration bitstream as
+// produced by the assembly step of the flow: which frames it touches and
+// what loading it costs over the configuration port.
+type Bitstream struct {
+	Module       string
+	ShapeIndex   int
+	X, Y         int
+	Frames       int
+	Bytes        int
+	ReconfigTime time.Duration
+}
+
+// String summarises the bitstream.
+func (b Bitstream) String() string {
+	return fmt.Sprintf("%s@(%d,%d)/shape%d: %d frames, %d bytes, %v",
+		b.Module, b.X, b.Y, b.ShapeIndex, b.Frames, b.Bytes, b.ReconfigTime)
+}
+
+// Assemble simulates bitstream assembly for a placement result: for
+// every placed module it derives the configuration frames its bounding
+// box touches under the frame model and the time to stream them through
+// the configuration port.
+func Assemble(region *fabric.Region, res *core.Result, fm fabric.FrameModel) ([]Bitstream, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	if !res.Found {
+		return nil, fmt.Errorf("recobus: cannot assemble bitstreams for an unplaced result")
+	}
+	out := make([]Bitstream, 0, len(res.Placements))
+	for _, p := range res.Placements {
+		frames := fm.FrameCount(region, p.Bounds())
+		out = append(out, Bitstream{
+			Module:       p.Module.Name(),
+			ShapeIndex:   p.ShapeIndex,
+			X:            p.At.X,
+			Y:            p.At.Y,
+			Frames:       frames,
+			Bytes:        frames * fm.FrameBytes,
+			ReconfigTime: fm.ReconfigTime(frames),
+		})
+	}
+	return out, nil
+}
+
+// TotalReconfigTime sums the loading times of a bitstream set: the cost
+// of configuring the whole module set once.
+func TotalReconfigTime(bs []Bitstream) time.Duration {
+	var total time.Duration
+	for _, b := range bs {
+		total += b.ReconfigTime
+	}
+	return total
+}
+
+// bitstreamMagic identifies encoded bitstream blobs.
+const bitstreamMagic = 0x52435242 // "RCRB"
+
+// Encode serialises the bitstream descriptor plus synthetic frame
+// payload into a self-contained blob (magic, header, zeroed frame data),
+// standing in for the device-specific binary the real tool chain emits.
+func (b Bitstream) Encode() []byte {
+	name := []byte(b.Module)
+	buf := make([]byte, 0, 4+4+len(name)+5*4+b.Bytes)
+	var tmp [4]byte
+	put := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(bitstreamMagic)
+	put(uint32(len(name)))
+	buf = append(buf, name...)
+	put(uint32(b.ShapeIndex))
+	put(uint32(b.X))
+	put(uint32(b.Y))
+	put(uint32(b.Frames))
+	put(uint32(b.Bytes))
+	buf = append(buf, make([]byte, b.Bytes)...)
+	return buf
+}
+
+// DecodeBitstream parses a blob produced by Encode.
+func DecodeBitstream(data []byte) (Bitstream, error) {
+	var b Bitstream
+	get := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(data[:4])
+		data = data[4:]
+		return v, true
+	}
+	magic, ok := get()
+	if !ok || magic != bitstreamMagic {
+		return b, fmt.Errorf("recobus: bad bitstream magic")
+	}
+	nameLen, ok := get()
+	if !ok || int(nameLen) > len(data) {
+		return b, fmt.Errorf("recobus: truncated bitstream name")
+	}
+	b.Module = string(data[:nameLen])
+	data = data[nameLen:]
+	fields := []*int{&b.ShapeIndex, &b.X, &b.Y, &b.Frames, &b.Bytes}
+	for _, f := range fields {
+		v, ok := get()
+		if !ok {
+			return b, fmt.Errorf("recobus: truncated bitstream header")
+		}
+		*f = int(v)
+	}
+	if len(data) != b.Bytes {
+		return b, fmt.Errorf("recobus: payload size %d != header %d", len(data), b.Bytes)
+	}
+	return b, nil
+}

@@ -1,0 +1,66 @@
+package recobus
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/module"
+)
+
+// Flow is the end-to-end design flow of Figure 2: partial-region
+// specification plus module specification in, optimally placed modules
+// and assembled bitstreams out.
+type Flow struct {
+	Spec       *RegionSpec
+	Region     *fabric.Region
+	Modules    []*module.Module
+	FrameModel fabric.FrameModel
+}
+
+// LoadFlow parses the two specification streams and builds the region.
+func LoadFlow(regionSpec, moduleSpec io.Reader) (*Flow, error) {
+	spec, err := ParseRegion(regionSpec)
+	if err != nil {
+		return nil, err
+	}
+	region, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	mods, err := ParseModules(moduleSpec)
+	if err != nil {
+		return nil, err
+	}
+	return &Flow{
+		Spec:       spec,
+		Region:     region,
+		Modules:    mods,
+		FrameModel: fabric.DefaultFrameModel(),
+	}, nil
+}
+
+// Place runs the constraint-programming placer on the flow's region and
+// modules, applying the spec's bus-attachment constraint.
+func (f *Flow) Place(opts core.Options) (*core.Result, error) {
+	if len(opts.BusRows) == 0 {
+		opts.BusRows = f.Spec.BusRows
+	}
+	res, err := core.New(f.Region, opts).Place(f.Modules)
+	if err != nil {
+		return nil, err
+	}
+	if res.Found {
+		if err := res.Validate(f.Region); err != nil {
+			return nil, fmt.Errorf("recobus: placer produced invalid result: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Assemble turns a placement into per-module bitstreams under the flow's
+// frame model.
+func (f *Flow) Assemble(res *core.Result) ([]Bitstream, error) {
+	return Assemble(f.Region, res, f.FrameModel)
+}

@@ -1,0 +1,93 @@
+package recobus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/module"
+)
+
+// WritePlacement emits a placement result in the flow's interchange
+// format, one line per module:
+//
+//	place <module> <shape-index> <x> <y>
+//
+// The format lets downstream tools (bitstream assembly, verification,
+// visualisation) consume placements without re-running the solver.
+func WritePlacement(w io.Writer, res *core.Result) error {
+	if !res.Found {
+		return fmt.Errorf("recobus: cannot write an unplaced result")
+	}
+	var sb strings.Builder
+	for _, p := range res.Placements {
+		fmt.Fprintf(&sb, "place %s %d %d %d\n", p.Module.Name(), p.ShapeIndex, p.At.X, p.At.Y)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ParsePlacement reads the interchange format back, resolving module
+// names against mods, recomputing the result's metrics on region, and
+// validating the placement (M_a, M_b, M_c). Every module must be placed
+// exactly once.
+func ParsePlacement(r io.Reader, region *fabric.Region, mods []*module.Module) (*core.Result, error) {
+	byName := make(map[string]*module.Module, len(mods))
+	for _, m := range mods {
+		byName[m.Name()] = m
+	}
+	placed := map[string]bool{}
+	res := &core.Result{Found: true}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields, _ := specFields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] != "place" || len(fields) != 5 {
+			return nil, fmt.Errorf("recobus: placement line %d: want 'place <module> <shape> <x> <y>'", lineNo)
+		}
+		m, ok := byName[fields[1]]
+		if !ok {
+			return nil, fmt.Errorf("recobus: placement line %d: unknown module %q", lineNo, fields[1])
+		}
+		if placed[fields[1]] {
+			return nil, fmt.Errorf("recobus: placement line %d: module %q placed twice", lineNo, fields[1])
+		}
+		si, err1 := strconv.Atoi(fields[2])
+		x, err2 := strconv.Atoi(fields[3])
+		y, err3 := strconv.Atoi(fields[4])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("recobus: placement line %d: bad integers", lineNo)
+		}
+		if si < 0 || si >= m.NumShapes() {
+			return nil, fmt.Errorf("recobus: placement line %d: module %q has no shape %d", lineNo, fields[1], si)
+		}
+		placed[fields[1]] = true
+		p := core.Placement{Module: m, ShapeIndex: si, At: grid.Pt(x, y)}
+		res.Placements = append(res.Placements, p)
+		if top := p.Top(); top > res.Height {
+			res.Height = top
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(placed) != len(mods) {
+		return nil, fmt.Errorf("recobus: placement covers %d of %d modules", len(placed), len(mods))
+	}
+	res.Utilization = metrics.Utilization(region, res.Occupancy(region))
+	if err := res.Validate(region); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package recobus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+// A partial bitstream is relocatable between two anchors only when the
+// resource pattern under the module's bounding box is identical at both
+// (Becker et al. [9]): the frames address the same kinds of tiles in the
+// same order. On heterogeneous fabrics this splits a shape's valid
+// anchors into relocation classes — one stored bitstream per class.
+// Masking dedicated resources (the [9] approach the paper argues
+// against) collapses classes at the cost of extra logic area; this file
+// quantifies that trade-off.
+
+// RelocationClass is a set of anchors sharing one bitstream.
+type RelocationClass struct {
+	// Signature is the canonical resource pattern under the bounding
+	// box (row-major kinds).
+	Signature string
+	// Anchors lists the class's anchor positions in canonical order.
+	Anchors []grid.Point
+}
+
+// RelocationClasses partitions the valid anchors of shape s on region r
+// by the resource pattern under the shape's bounding box. Classes are
+// returned largest-first (ties by signature) so class 0 is the most
+// valuable bitstream to keep.
+func RelocationClasses(r *fabric.Region, s *module.Shape) []RelocationClass {
+	anchors := core.ValidAnchors(r, s)
+	bySig := map[string][]grid.Point{}
+	var sig strings.Builder
+	for y := 0; y <= r.H()-s.H(); y++ {
+		for x := 0; x <= r.W()-s.W(); x++ {
+			if !anchors.Get(x, y) {
+				continue
+			}
+			sig.Reset()
+			for dy := 0; dy < s.H(); dy++ {
+				for dx := 0; dx < s.W(); dx++ {
+					sig.WriteByte(r.KindAt(x+dx, y+dy).Rune())
+				}
+			}
+			key := sig.String()
+			bySig[key] = append(bySig[key], grid.Pt(x, y))
+		}
+	}
+	out := make([]RelocationClass, 0, len(bySig))
+	for k, v := range bySig {
+		out = append(out, RelocationClass{Signature: k, Anchors: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Anchors) != len(out[j].Anchors) {
+			return len(out[i].Anchors) > len(out[j].Anchors)
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out
+}
+
+// RelocationSummary condenses the class structure of one shape.
+type RelocationSummary struct {
+	Anchors int
+	Classes int
+	// Largest is the anchor count of the biggest class.
+	Largest int
+}
+
+// Ratio returns the fraction of anchors served by the single best
+// bitstream (1.0 = fully relocatable with one bitstream).
+func (s RelocationSummary) Ratio() float64 {
+	if s.Anchors == 0 {
+		return 0
+	}
+	return float64(s.Largest) / float64(s.Anchors)
+}
+
+// String renders "anchors=n classes=k best=m (ratio)".
+func (s RelocationSummary) String() string {
+	return fmt.Sprintf("anchors=%d classes=%d best=%d (%.0f%% one-bitstream coverage)",
+		s.Anchors, s.Classes, s.Largest, s.Ratio()*100)
+}
+
+// SummarizeRelocation computes the relocation summary of a shape on a
+// region.
+func SummarizeRelocation(r *fabric.Region, s *module.Shape) RelocationSummary {
+	classes := RelocationClasses(r, s)
+	sum := RelocationSummary{Classes: len(classes)}
+	for i, c := range classes {
+		sum.Anchors += len(c.Anchors)
+		if i == 0 {
+			sum.Largest = len(c.Anchors)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,185 @@
+// Package regionplan chooses where on a device to allocate the
+// reconfigurable region for a given module set — the design-time step
+// the paper's related work ([1] three-level resource management, [14]
+// automated placement of reconfigurable regions) performs before any
+// module placement. The planner enumerates candidate rectangles
+// (smallest area first, on a step grid), prunes by per-kind resource
+// capacity against the module set's minimum demand, and accepts the
+// first candidate on which the constraint-programming placer finds a
+// complete placement.
+//
+// On heterogeneous devices position matters as much as size: a candidate
+// must cover enough BRAM/DSP columns in the right arrangement, which the
+// capacity filter catches cheaply and the placement check verifies
+// exactly.
+package regionplan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+// Options configures the planner.
+type Options struct {
+	// Placer configures the per-candidate feasibility check;
+	// FirstSolutionOnly is forced on (the planner needs feasibility,
+	// not optimality).
+	Placer core.Options
+	// Step is the grid granularity for candidate sizes and positions
+	// (default 4, matching typical reconfigurable-frame granularity).
+	Step int
+	// MaxAttempts bounds the number of placement checks (default 64);
+	// capacity-infeasible candidates are free.
+	MaxAttempts int
+}
+
+func (o Options) defaults() Options {
+	if o.Step <= 0 {
+		o.Step = 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 200
+	}
+	o.Placer.FirstSolutionOnly = true
+	return o
+}
+
+// Candidate is one evaluated region proposal.
+type Candidate struct {
+	Rect grid.Rect
+	// Result is the feasibility placement (nil when only capacity was
+	// checked and failed).
+	Result *core.Result
+}
+
+// Plan returns the smallest-area step-aligned region of dev on which the
+// module set places completely, together with the evaluated candidates
+// (in evaluation order) for reporting. An error is returned when no
+// candidate within the attempt budget works.
+func Plan(dev *fabric.Device, mods []*module.Module, opts Options) (*Candidate, []Candidate, error) {
+	opts = opts.defaults()
+	if len(mods) == 0 {
+		return nil, nil, fmt.Errorf("regionplan: no modules")
+	}
+
+	// Minimum dimensions: every module's smallest bounding box must fit.
+	minW, minH := 1, 1
+	var demand fabric.Histogram
+	for _, m := range mods {
+		lo, _ := m.Envelope()
+		for k := range demand {
+			demand[k] += lo[k]
+		}
+		// The narrowest alternative bounds the region width; likewise
+		// height.
+		bw, bh := dev.W(), dev.H()
+		for _, s := range m.Shapes() {
+			if s.W() < bw {
+				bw = s.W()
+			}
+			if s.H() < bh {
+				bh = s.H()
+			}
+		}
+		if bw > minW {
+			minW = bw
+		}
+		if bh > minH {
+			minH = bh
+		}
+	}
+
+	candidates := enumerate(dev, minW, minH, opts.Step)
+	sort.SliceStable(candidates, func(i, j int) bool {
+		ai, aj := candidates[i].Area(), candidates[j].Area()
+		if ai != aj {
+			return ai < aj
+		}
+		if candidates[i].MinY != candidates[j].MinY {
+			return candidates[i].MinY < candidates[j].MinY
+		}
+		return candidates[i].MinX < candidates[j].MinX
+	})
+
+	var tried []Candidate
+	attempts := 0
+	for _, rect := range candidates {
+		region := dev.Region(rect)
+		if !capacitySufficient(region, demand) {
+			continue
+		}
+		if !allModulesAnchorable(region, mods) {
+			continue
+		}
+		attempts++
+		if attempts > opts.MaxAttempts {
+			break
+		}
+		res, err := core.New(region, opts.Placer).Place(mods)
+		if err != nil {
+			// Jointly un-buildable candidate (should be rare after the
+			// anchor pre-filter); keep looking.
+			tried = append(tried, Candidate{Rect: rect})
+			continue
+		}
+		tried = append(tried, Candidate{Rect: rect, Result: res})
+		if res.Found {
+			winner := tried[len(tried)-1]
+			return &winner, tried, nil
+		}
+	}
+	return nil, tried, fmt.Errorf("regionplan: no feasible region within %d attempts", opts.MaxAttempts)
+}
+
+// enumerate lists step-aligned rectangles with dims >= (minW, minH).
+func enumerate(dev *fabric.Device, minW, minH, step int) []grid.Rect {
+	var out []grid.Rect
+	for w := roundUp(minW, step); w <= dev.W(); w += step {
+		for h := roundUp(minH, step); h <= dev.H(); h += step {
+			for x := 0; x+w <= dev.W(); x += step {
+				for y := 0; y+h <= dev.H(); y += step {
+					out = append(out, grid.RectXYWH(x, y, w, h))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func roundUp(v, step int) int { return (v + step - 1) / step * step }
+
+// allModulesAnchorable reports whether every module has at least one
+// valid anchor for at least one of its shapes in the region — a cheap
+// necessary condition checked before spending a placement attempt.
+func allModulesAnchorable(region *fabric.Region, mods []*module.Module) bool {
+	for _, m := range mods {
+		any := false
+		for _, s := range m.Shapes() {
+			if core.ValidAnchors(region, s).Count() > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	return true
+}
+
+// capacitySufficient reports whether the region's per-kind placeable
+// capacity covers the demand.
+func capacitySufficient(region *fabric.Region, demand fabric.Histogram) bool {
+	have := region.Histogram()
+	for k := range demand {
+		if demand[k] > have[k] {
+			return false
+		}
+	}
+	return true
+}

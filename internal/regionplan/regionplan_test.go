@@ -1,0 +1,116 @@
+package regionplan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+func clbModule(name string, w, h int) *module.Module {
+	var tiles []module.Tile
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			tiles = append(tiles, module.Tile{At: grid.Pt(x, y), Kind: fabric.CLB})
+		}
+	}
+	return module.MustModule(name, module.MustShape(tiles))
+}
+
+func TestPlanFindsMinimalRegion(t *testing.T) {
+	dev := fabric.Homogeneous(32, 32)
+	mods := []*module.Module{
+		clbModule("a", 4, 4), clbModule("b", 4, 4),
+	}
+	best, tried, err := Plan(dev, mods, Options{Step: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 4x4 modules fit in 8x4 = 32 tiles: the smallest step-4 area.
+	if best.Rect.Area() != 32 {
+		t.Fatalf("best area = %d (%v), want 32", best.Rect.Area(), best.Rect)
+	}
+	if !best.Result.Found {
+		t.Fatal("winner without placement")
+	}
+	if err := best.Result.Validate(dev.Region(best.Rect)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tried) == 0 {
+		t.Fatal("no candidates recorded")
+	}
+}
+
+func TestPlanHeterogeneousCoversBRAM(t *testing.T) {
+	// Only column 20 has BRAM: the chosen region must include it.
+	dev := fabric.NewDevice("one-bram", 32, 16, func(x, y int) fabric.Kind {
+		if x == 20 {
+			return fabric.BRAM
+		}
+		return fabric.CLB
+	})
+	m := module.MustModule("mem", module.MustShape([]module.Tile{
+		{At: grid.Pt(0, 0), Kind: fabric.BRAM},
+		{At: grid.Pt(1, 0), Kind: fabric.CLB},
+	}))
+	best, _, err := Plan(dev, []*module.Module{m}, Options{Step: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Rect.MinX > 20 || best.Rect.MaxX <= 20 {
+		t.Fatalf("region %v misses the BRAM column at x=20", best.Rect)
+	}
+}
+
+func TestPlanCapacityPruning(t *testing.T) {
+	// A module set demanding more BRAM than the device has must fail
+	// without burning the attempt budget on placements.
+	dev := fabric.Homogeneous(16, 16)
+	m := module.MustModule("mem", module.MustShape([]module.Tile{
+		{At: grid.Pt(0, 0), Kind: fabric.BRAM},
+	}))
+	_, tried, err := Plan(dev, []*module.Module{m}, Options{Step: 4, MaxAttempts: 5})
+	if err == nil {
+		t.Fatal("BRAM demand on BRAM-free device accepted")
+	}
+	if len(tried) != 0 {
+		t.Fatalf("capacity filter leaked %d placement attempts", len(tried))
+	}
+}
+
+func TestPlanAttemptBudget(t *testing.T) {
+	// Jointly infeasible set: every candidate fails; the budget stops it.
+	dev := fabric.Homogeneous(8, 8)
+	mods := []*module.Module{
+		clbModule("a", 8, 5), clbModule("b", 8, 5),
+	}
+	_, tried, err := Plan(dev, mods, Options{Step: 4, MaxAttempts: 3,
+		Placer: core.Options{Timeout: 2 * time.Second}})
+	if err == nil {
+		t.Fatal("infeasible set accepted")
+	}
+	if len(tried) > 3 {
+		t.Fatalf("attempt budget exceeded: %d", len(tried))
+	}
+}
+
+func TestPlanEmptyModules(t *testing.T) {
+	if _, _, err := Plan(fabric.Homogeneous(4, 4), nil, Options{}); err == nil {
+		t.Fatal("empty module set accepted")
+	}
+}
+
+func TestPlanSmallestAreaFirst(t *testing.T) {
+	dev := fabric.Homogeneous(24, 24)
+	mods := []*module.Module{clbModule("a", 3, 3)}
+	best, _, err := Plan(dev, mods, Options{Step: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Rect.W() != 4 || best.Rect.H() != 4 {
+		t.Fatalf("best rect %v, want 4x4", best.Rect)
+	}
+}

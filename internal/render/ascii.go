@@ -1,0 +1,167 @@
+// Package render draws floorplans: partial regions, module shapes and
+// placements, as ASCII art (for terminals and golden tests) and as SVG
+// (for figure reproduction). The ASCII renderer is the workhorse behind
+// the regenerated Figures 1, 3, 4 and 5 of the paper.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+// moduleGlyph returns the letter used for the i-th module: A..Z then
+// a..z then 0..9, cycling.
+func moduleGlyph(i int) byte {
+	const glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	return glyphs[i%len(glyphs)]
+}
+
+// Region renders the bare resource map of a region: one glyph per tile
+// (see fabric.Kind.Rune), top row first.
+func Region(r *fabric.Region) string {
+	return r.String()
+}
+
+// Placements renders a placement on its region: module tiles as the
+// module's letter, free placeable tiles as the resource glyph, and
+// unusable tiles as '#' (static) or the resource glyph (IOB/clock).
+func Placements(r *fabric.Region, ps []core.Placement) string {
+	w, h := r.W(), r.H()
+	cells := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cells[y*w+x] = r.KindAt(x, y).Rune()
+		}
+	}
+	for i, p := range ps {
+		g := moduleGlyph(i)
+		for _, t := range p.Tiles() {
+			if t.X >= 0 && t.Y >= 0 && t.X < w && t.Y < h {
+				cells[t.Y*w+t.X] = g
+			}
+		}
+	}
+	var sb strings.Builder
+	for y := h - 1; y >= 0; y-- {
+		sb.Write(cells[y*w : (y+1)*w])
+		if y > 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// PlacementsWithRuler is Placements with a row index gutter and a
+// legend naming each module letter.
+func PlacementsWithRuler(r *fabric.Region, ps []core.Placement) string {
+	body := Placements(r, ps)
+	lines := strings.Split(body, "\n")
+	var sb strings.Builder
+	for i, line := range lines {
+		y := r.H() - 1 - i
+		fmt.Fprintf(&sb, "%3d |%s|\n", y, line)
+	}
+	sb.WriteString("    ")
+	sb.WriteString(strings.Repeat("-", r.W()+2))
+	sb.WriteByte('\n')
+	for i, p := range ps {
+		fmt.Fprintf(&sb, "  %c = %s (shape %d at %v)\n",
+			moduleGlyph(i), p.Module.Name(), p.ShapeIndex, p.At)
+	}
+	return sb.String()
+}
+
+// Shape renders a single module shape (resource glyphs, '.' for empty
+// bounding-box cells).
+func Shape(s *module.Shape) string {
+	return s.String()
+}
+
+// ShapeAlternatives renders all design alternatives of a module side by
+// side, as in Figure 1 of the paper.
+func ShapeAlternatives(m *module.Module) string {
+	blocks := make([][]string, m.NumShapes())
+	width := make([]int, m.NumShapes())
+	maxH := 0
+	for i, s := range m.Shapes() {
+		blocks[i] = strings.Split(s.String(), "\n")
+		width[i] = s.W()
+		if len(blocks[i]) > maxH {
+			maxH = len(blocks[i])
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d design alternatives\n", m.Name(), m.NumShapes())
+	// Bottom-align the blocks: shapes share a baseline, as in Figure 1.
+	for row := 0; row < maxH; row++ {
+		for i := range blocks {
+			pad := maxH - len(blocks[i])
+			var line string
+			if row >= pad {
+				line = blocks[i][row-pad]
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], line)
+			if i < len(blocks)-1 {
+				sb.WriteString("   ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SideBySide joins two multi-line renders horizontally with the given
+// captions, used for the with/without-alternatives comparisons of
+// Figures 3 and 5.
+func SideBySide(leftCaption, left, rightCaption, right string) string {
+	ll := strings.Split(left, "\n")
+	rl := strings.Split(right, "\n")
+	lw := len(leftCaption)
+	for _, l := range ll {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s   %s\n", lw, leftCaption, rightCaption)
+	n := len(ll)
+	if len(rl) > n {
+		n = len(rl)
+	}
+	for i := 0; i < n; i++ {
+		var l, r string
+		if i < len(ll) {
+			l = ll[i]
+		}
+		if i < len(rl) {
+			r = rl[i]
+		}
+		fmt.Fprintf(&sb, "%-*s   %s\n", lw, l, r)
+	}
+	return sb.String()
+}
+
+// AnchorMask renders the valid-anchor positions of a shape on a region
+// (Figure 4b: the gray areas where a module may be placed): '*' marks a
+// valid anchor, resource glyphs elsewhere.
+func AnchorMask(r *fabric.Region, mask *grid.Bitmap) string {
+	var sb strings.Builder
+	for y := r.H() - 1; y >= 0; y-- {
+		for x := 0; x < r.W(); x++ {
+			if mask.Get(x, y) {
+				sb.WriteByte('*')
+			} else {
+				sb.WriteByte(r.KindAt(x, y).Rune())
+			}
+		}
+		if y > 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

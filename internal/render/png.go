@@ -1,0 +1,78 @@
+package render
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// kindColor maps resource kinds to raster colours (same hues as the SVG
+// palette).
+var kindColor = map[fabric.Kind]color.RGBA{
+	fabric.CLB:    {0xe8, 0xe8, 0xe8, 0xff},
+	fabric.BRAM:   {0xc7, 0xd8, 0xf0, 0xff},
+	fabric.DSP:    {0xd9, 0xf0, 0xc7, 0xff},
+	fabric.IOB:    {0xf0, 0xe3, 0xc7, 0xff},
+	fabric.Clock:  {0xe3, 0xc7, 0xf0, 0xff},
+	fabric.Static: {0x70, 0x70, 0x70, 0xff},
+}
+
+// modulePaletteRGBA mirrors the SVG module palette.
+var modulePaletteRGBA = []color.RGBA{
+	{0xe6, 0x19, 0x4b, 0xff}, {0x3c, 0xb4, 0x4b, 0xff}, {0x43, 0x63, 0xd8, 0xff},
+	{0xf5, 0x82, 0x31, 0xff}, {0x91, 0x1e, 0xb4, 0xff}, {0x46, 0xf0, 0xf0, 0xff},
+	{0xf0, 0x32, 0xe6, 0xff}, {0xbc, 0xf6, 0x0c, 0xff}, {0xfa, 0xbe, 0xbe, 0xff},
+	{0x00, 0x80, 0x80, 0xff}, {0xe6, 0xbe, 0xff, 0xff}, {0x9a, 0x63, 0x24, 0xff},
+	{0xff, 0xfa, 0xc8, 0xff}, {0x80, 0x00, 0x00, 0xff}, {0xaa, 0xff, 0xc3, 0xff},
+	{0x80, 0x80, 0x00, 0xff}, {0xff, 0xd8, 0xb1, 0xff}, {0x00, 0x00, 0x75, 0xff},
+	{0x80, 0x80, 0x80, 0xff}, {0xff, 0xe1, 0x19, 0xff},
+}
+
+// PNG writes a placement floorplan as a PNG image; cell is the pixel
+// size of one tile (default 8). Tile (0,0) is rendered bottom-left.
+func PNG(w io.Writer, r *fabric.Region, ps []core.Placement, cell int) error {
+	if cell <= 0 {
+		cell = 8
+	}
+	img := image.NewRGBA(image.Rect(0, 0, r.W()*cell, r.H()*cell))
+	grey := color.RGBA{0xff, 0xff, 0xff, 0xff}
+
+	fillTile := func(x, y int, c color.RGBA) {
+		px0 := x * cell
+		py0 := (r.H() - 1 - y) * cell
+		for py := py0; py < py0+cell; py++ {
+			for px := px0; px < px0+cell; px++ {
+				// One-pixel grid line on the top and left edge of each
+				// tile keeps the tile boundaries readable.
+				if px == px0 || py == py0 {
+					img.SetRGBA(px, py, grey)
+				} else {
+					img.SetRGBA(px, py, c)
+				}
+			}
+		}
+	}
+
+	for y := 0; y < r.H(); y++ {
+		for x := 0; x < r.W(); x++ {
+			c, ok := kindColor[r.KindAt(x, y)]
+			if !ok {
+				c = grey
+			}
+			fillTile(x, y, c)
+		}
+	}
+	for i, p := range ps {
+		c := modulePaletteRGBA[i%len(modulePaletteRGBA)]
+		for _, t := range p.Tiles() {
+			if t.X >= 0 && t.Y >= 0 && t.X < r.W() && t.Y < r.H() {
+				fillTile(t.X, t.Y, c)
+			}
+		}
+	}
+	return png.Encode(w, img)
+}

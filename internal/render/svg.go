@@ -1,0 +1,77 @@
+package render
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// kindFill maps resource kinds to SVG fill colours (muted backgrounds;
+// module overlays are saturated).
+var kindFill = map[fabric.Kind]string{
+	fabric.CLB:    "#e8e8e8",
+	fabric.BRAM:   "#c7d8f0",
+	fabric.DSP:    "#d9f0c7",
+	fabric.IOB:    "#f0e3c7",
+	fabric.Clock:  "#e3c7f0",
+	fabric.Static: "#707070",
+}
+
+// modulePalette provides overlay colours for placed modules.
+var modulePalette = []string{
+	"#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4",
+	"#46f0f0", "#f032e6", "#bcf60c", "#fabebe", "#008080",
+	"#e6beff", "#9a6324", "#fffac8", "#800000", "#aaffc3",
+	"#808000", "#ffd8b1", "#000075", "#808080", "#ffe119",
+}
+
+// SVG writes a placement floorplan as a standalone SVG document. cell is
+// the pixel size of one tile (8 is readable for Table-I-scale regions).
+func SVG(w io.Writer, r *fabric.Region, ps []core.Placement, cell int) error {
+	if cell <= 0 {
+		cell = 8
+	}
+	width := r.W() * cell
+	height := r.H() * cell
+	// y is flipped: tile (0,0) is bottom-left, SVG origin is top-left.
+	flip := func(y, h int) int { return (r.H() - y - h) * cell }
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	for y := 0; y < r.H(); y++ {
+		for x := 0; x < r.W(); x++ {
+			fill := kindFill[r.KindAt(x, y)]
+			if fill == "" {
+				fill = "#ffffff"
+			}
+			if _, err := fmt.Fprintf(w,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ffffff" stroke-width="0.5"/>`+"\n",
+				x*cell, flip(y, 1), cell, cell, fill); err != nil {
+				return err
+			}
+		}
+	}
+	for i, p := range ps {
+		colour := modulePalette[i%len(modulePalette)]
+		for _, t := range p.Tiles() {
+			if _, err := fmt.Fprintf(w,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.8" stroke="#222222" stroke-width="0.5"/>`+"\n",
+				t.X*cell, flip(t.Y, 1), cell, cell, colour); err != nil {
+				return err
+			}
+		}
+		b := p.Bounds()
+		if _, err := fmt.Fprintf(w,
+			`<text x="%d" y="%d" font-size="%d" font-family="monospace" fill="#000000">%s</text>`+"\n",
+			b.MinX*cell+2, flip(b.MinY, b.H())+cell, cell-1, p.Module.Name()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

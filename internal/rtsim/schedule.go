@@ -1,0 +1,92 @@
+package rtsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/module"
+)
+
+// ParseSchedule reads a phase schedule. Format ('#' comments):
+//
+//	phase <name> <dwell>          # dwell in Go duration syntax (40ms)
+//	use <module> [<module>...]    # modules resident during the phase
+//
+// Module names are resolved against library (usually the modules of a
+// recobus module specification).
+func ParseSchedule(r io.Reader, library map[string]*module.Module) ([]Phase, error) {
+	var phases []Phase
+	var cur *Phase
+	flush := func() {
+		if cur != nil {
+			phases = append(phases, *cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "phase":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("rtsim: schedule line %d: want 'phase <name> <dwell>'", lineNo)
+			}
+			d, err := time.ParseDuration(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("rtsim: schedule line %d: bad dwell: %w", lineNo, err)
+			}
+			flush()
+			cur = &Phase{Name: fields[1], Dwell: d}
+		case "use":
+			if cur == nil {
+				return nil, fmt.Errorf("rtsim: schedule line %d: use outside phase", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("rtsim: schedule line %d: use needs module names", lineNo)
+			}
+			for _, name := range fields[1:] {
+				m, ok := library[name]
+				if !ok {
+					return nil, fmt.Errorf("rtsim: schedule line %d: unknown module %q", lineNo, name)
+				}
+				cur.Modules = append(cur.Modules, m)
+			}
+		default:
+			return nil, fmt.Errorf("rtsim: schedule line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("rtsim: schedule defines no phases")
+	}
+	for i := range phases {
+		if err := validatePhase(phases[i]); err != nil {
+			return nil, fmt.Errorf("rtsim: schedule: %w", err)
+		}
+	}
+	return phases, nil
+}
+
+// Library indexes modules by name for schedule resolution.
+func Library(mods []*module.Module) map[string]*module.Module {
+	out := make(map[string]*module.Module, len(mods))
+	for _, m := range mods {
+		out[m.Name()] = m
+	}
+	return out
+}
