@@ -1,0 +1,35 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# steps as `make check`.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt-check vet build race
+
+# The observability acceptance benchmark: recording disabled must show
+# the baseline allocation profile.
+bench:
+	$(GO) test -run xxx -bench BenchmarkSearch -benchmem ./internal/csp
+
+clean:
+	$(GO) clean ./...

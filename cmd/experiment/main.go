@@ -17,20 +17,28 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table1", "experiment: table1, fig1, fig3, fig4, fig5, altcount, heterogeneity, masked, strategy, baselines, online, schedule, relocate, all")
-		runs    = flag.Int("runs", 50, "number of seeded runs for table experiments")
-		seed    = flag.Int64("seed", 1, "base seed")
-		stall   = flag.Int64("stall", 2000, "optimiser convergence: nodes without improvement")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-solve safety cap")
-		modules = flag.Int("modules", 0, "modules per run (0 = paper default of 30)")
-		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
+		exp      = flag.String("exp", "table1", "experiment: table1, fig1, fig3, fig4, fig5, altcount, heterogeneity, masked, strategy, baselines, online, schedule, relocate, all")
+		runs     = flag.Int("runs", 50, "number of seeded runs for table experiments")
+		seed     = flag.Int64("seed", 1, "base seed")
+		stall    = flag.Int64("stall", 2000, "optimiser convergence: nodes without improvement")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-solve safety cap")
+		modules  = flag.Int("modules", 0, "modules per run (0 = paper default of 30)")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		benchOut = flag.String("bench-out", "BENCH_table1.json", "per-testcase JSON for the table1 experiment (empty disables)")
+		obsCfg   obs.Config
 	)
+	flag.StringVar(&obsCfg.TracePath, "trace", "", "write the solver JSONL event trace to this file (- for stdout)")
+	flag.StringVar(&obsCfg.MetricsPath, "metrics", "", "dump metrics at exit: - for a summary table, a path for Prometheus text format")
+	flag.StringVar(&obsCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&obsCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&obsCfg.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	cfg := experiments.RunConfig{
@@ -39,13 +47,25 @@ func main() {
 		StallNodes: *stall,
 		Timeout:    *timeout,
 		Workload:   workload.Config{NumModules: *modules},
+		BenchPath:  *benchOut,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
-
-	if err := run(os.Stdout, *exp, cfg); err != nil {
+	session, err := obs.Start(obsCfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
+		os.Exit(1)
+	}
+	cfg.Recorder = session.Recorder
+	cfg.Metrics = session.Registry
+
+	runErr := run(os.Stdout, *exp, cfg)
+	if cerr := session.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", runErr)
 		os.Exit(1)
 	}
 }
@@ -58,6 +78,20 @@ func run(w io.Writer, exp string, cfg experiments.RunConfig) error {
 			return err
 		}
 		fmt.Fprintln(w, res.Format())
+		if cfg.BenchPath != "" {
+			f, err := os.Create(cfg.BenchPath)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteBenchJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "wrote", cfg.BenchPath)
+		}
 	case "fig1":
 		fmt.Fprintln(w, experiments.Fig1())
 	case "fig3":

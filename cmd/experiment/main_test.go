@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -40,6 +43,47 @@ func TestRunTable1Reduced(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "Design alternatives") {
 		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunTable1BenchJSON(t *testing.T) {
+	cfg := testCfg()
+	cfg.BenchPath = filepath.Join(t.TempDir(), "BENCH_table1.json")
+	var sb strings.Builder
+	if err := run(&sb, "table1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cfg.BenchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Experiment string `json:"experiment"`
+		Runs       int    `json:"runs"`
+		Records    []struct {
+			Arm         string  `json:"arm"`
+			Seconds     float64 `json:"seconds"`
+			Nodes       int64   `json:"nodes"`
+			Backtracks  int64   `json:"backtracks"`
+			Utilization float64 `json:"utilization"`
+			Reason      string  `json:"reason"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("bench JSON: %v", err)
+	}
+	if got.Experiment != "table1" || got.Runs != 1 || len(got.Records) != 2 {
+		t.Fatalf("bench file: %+v", got)
+	}
+	arms := map[string]bool{}
+	for _, r := range got.Records {
+		arms[r.Arm] = true
+		if r.Seconds <= 0 || r.Nodes <= 0 || r.Utilization <= 0 || r.Reason == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+	if !arms["with"] || !arms["without"] {
+		t.Fatalf("arms: %v", arms)
 	}
 }
 

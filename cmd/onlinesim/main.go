@@ -6,6 +6,7 @@
 //
 //	onlinesim -device virtex4-like-72x60 -tasks 200
 //	onlinesim -region region.spec -manager first-fit+alternatives
+//	onlinesim -manager first-fit+cp-replan -metrics -
 package main
 
 import (
@@ -14,35 +15,56 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/recobus"
 )
 
+// cliOpts carries the parsed command line into run.
+type cliOpts struct {
+	device     string
+	regionPath string
+	tasks      int
+	seed       int64
+	interarr   int
+	duration   int
+	clbMin     int
+	clbMax     int
+	bramMax    int
+	manager    string
+	obs        obs.Config
+}
+
 func main() {
-	var (
-		device     = flag.String("device", "virtex4-like-72x60", "predefined device name")
-		regionPath = flag.String("region", "", "partial-region description file (overrides -device)")
-		tasks      = flag.Int("tasks", 200, "number of task arrivals")
-		seed       = flag.Int64("seed", 1, "stream seed")
-		interarr   = flag.Int("interarrival", 2, "mean inter-arrival time")
-		duration   = flag.Int("duration", 120, "mean task residency")
-		clbMin     = flag.Int("clbmin", 10, "minimum CLB demand per task")
-		clbMax     = flag.Int("clbmax", 60, "maximum CLB demand per task")
-		bramMax    = flag.Int("brammax", 3, "maximum BRAM demand per task")
-		manager    = flag.String("manager", "", "run only this manager (default: all)")
-	)
+	var o cliOpts
+	flag.StringVar(&o.device, "device", "virtex4-like-72x60", "predefined device name")
+	flag.StringVar(&o.regionPath, "region", "", "partial-region description file (overrides -device)")
+	flag.IntVar(&o.tasks, "tasks", 200, "number of task arrivals")
+	flag.Int64Var(&o.seed, "seed", 1, "stream seed")
+	flag.IntVar(&o.interarr, "interarrival", 2, "mean inter-arrival time")
+	flag.IntVar(&o.duration, "duration", 120, "mean task residency")
+	flag.IntVar(&o.clbMin, "clbmin", 10, "minimum CLB demand per task")
+	flag.IntVar(&o.clbMax, "clbmax", 60, "maximum CLB demand per task")
+	flag.IntVar(&o.bramMax, "brammax", 3, "maximum BRAM demand per task")
+	flag.StringVar(&o.manager, "manager", "", "run only this manager (default: all)")
+	flag.StringVar(&o.obs.TracePath, "trace", "", "write the solver JSONL event trace to this file (- for stdout)")
+	flag.StringVar(&o.obs.MetricsPath, "metrics", "", "dump metrics at exit: - for a summary table, a path for Prometheus text format")
+	flag.StringVar(&o.obs.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.obs.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&o.obs.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if err := run(*device, *regionPath, *tasks, *seed, *interarr, *duration, *clbMin, *clbMax, *bramMax, *manager); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "onlinesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(device, regionPath string, tasks int, seed int64, interarr, duration, clbMin, clbMax, bramMax int, manager string) error {
+func run(o cliOpts) (err error) {
 	var region *fabric.Region
-	if regionPath != "" {
-		f, err := os.Open(regionPath)
+	if o.regionPath != "" {
+		f, err := os.Open(o.regionPath)
 		if err != nil {
 			return err
 		}
@@ -56,7 +78,7 @@ func run(device, regionPath string, tasks int, seed int64, interarr, duration, c
 			return err
 		}
 	} else {
-		dev, err := fabric.ByName(device)
+		dev, err := fabric.ByName(o.device)
 		if err != nil {
 			return err
 		}
@@ -64,37 +86,49 @@ func run(device, regionPath string, tasks int, seed int64, interarr, duration, c
 	}
 
 	stream := online.StreamConfig{
-		Tasks:            tasks,
-		MeanInterarrival: interarr,
-		MeanDuration:     duration,
+		Tasks:            o.tasks,
+		MeanInterarrival: o.interarr,
+		MeanDuration:     o.duration,
 	}
-	stream.Library.CLBMin, stream.Library.CLBMax = clbMin, clbMax
-	stream.Library.BRAMMax = bramMax
-	stream.Library.NoBRAM = bramMax == 0
+	stream.Library.CLBMin, stream.Library.CLBMax = o.clbMin, o.clbMax
+	stream.Library.BRAMMax = o.bramMax
+	stream.Library.NoBRAM = o.bramMax == 0
 	stream.Library.Alternatives = 4
 	stream.Library.NumModules = 1
 
-	ts, err := online.GenerateStream(stream, rand.New(rand.NewSource(seed)))
+	ts, err := online.GenerateStream(stream, rand.New(rand.NewSource(o.seed)))
 	if err != nil {
 		return err
 	}
+	session, err := obs.Start(o.obs)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := session.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
 	fmt.Printf("region %s (%dx%d), %d arrivals\n\n",
 		region.Device().Name(), region.W(), region.H(), len(ts))
 
 	managers := online.Managers()
 	// The CP-replan manager is expensive (one constraint solve per
 	// rejection), so it only runs when explicitly requested.
-	if manager == "first-fit+cp-replan" {
+	if o.manager == "first-fit+cp-replan" {
 		managers = append(managers, &online.ReplanFirstFit{
 			FirstFit: online.FirstFit{UseAlternatives: true},
+			Budget:   core.Options{Recorder: session.Recorder, Metrics: session.Registry},
+			Metrics:  session.Registry,
 		})
 	}
 	ran := false
 	for _, mgr := range managers {
-		if manager != "" && mgr.Name() != manager {
+		if o.manager != "" && mgr.Name() != o.manager {
 			continue
 		}
-		st, err := online.Simulate(region, mgr, ts, fabric.DefaultFrameModel())
+		st, err := online.SimulateObserved(region, mgr, ts, fabric.DefaultFrameModel(), session.Registry)
 		if err != nil {
 			return err
 		}
@@ -102,7 +136,7 @@ func run(device, regionPath string, tasks int, seed int64, interarr, duration, c
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown manager %q", manager)
+		return fmt.Errorf("unknown manager %q", o.manager)
 	}
 	return nil
 }

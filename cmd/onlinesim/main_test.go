@@ -3,17 +3,35 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
+func baseOpts() cliOpts {
+	return cliOpts{
+		device:   "spartan-like-24x16",
+		tasks:    30,
+		seed:     1,
+		interarr: 3,
+		duration: 60,
+		clbMin:   4,
+		clbMax:   10,
+	}
+}
+
 func TestRunAllManagers(t *testing.T) {
-	if err := run("spartan-like-24x16", "", 30, 1, 3, 60, 4, 10, 0, ""); err != nil {
+	if err := run(baseOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleManager(t *testing.T) {
-	if err := run("spartan-like-24x16", "", 20, 1, 3, 60, 4, 10, 0, "first-fit"); err != nil {
+	o := baseOpts()
+	o.tasks = 20
+	o.manager = "first-fit"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -23,19 +41,61 @@ func TestRunRegionFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("region t 20 10\nbramcols 4\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, 15, 2, 3, 60, 4, 10, 1, ""); err != nil {
+	o := baseOpts()
+	o.device = ""
+	o.regionPath = path
+	o.tasks = 15
+	o.seed = 2
+	o.bramMax = 1
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunMetrics checks the online-simulation instrumentation: the
+// replan manager reports per-request latency histograms and replan
+// counts through the -metrics surface.
+func TestRunMetrics(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	o := baseOpts()
+	o.tasks = 25
+	o.manager = "first-fit+cp-replan"
+	o.obs = obs.Config{MetricsPath: metricsPath}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"online_requests_total",
+		`online_place_latency_seconds_bucket{outcome="accepted",le=`,
+		"online_service_level",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "", 10, 1, 3, 60, 4, 10, 0, ""); err == nil {
+	o := baseOpts()
+	o.device = "bogus"
+	if err := run(o); err == nil {
 		t.Error("unknown device accepted")
 	}
-	if err := run("spartan-like-24x16", "", 10, 1, 3, 60, 4, 10, 0, "bogus-manager"); err == nil {
+	o = baseOpts()
+	o.tasks = 10
+	o.manager = "bogus-manager"
+	if err := run(o); err == nil {
 		t.Error("unknown manager accepted")
 	}
-	if err := run("", "/nonexistent", 10, 1, 3, 60, 4, 10, 0, ""); err == nil {
+	o = baseOpts()
+	o.device = ""
+	o.regionPath = "/nonexistent"
+	if err := run(o); err == nil {
 		t.Error("missing region file accepted")
 	}
 }

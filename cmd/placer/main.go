@@ -7,6 +7,14 @@
 // Example:
 //
 //	placer -region region.spec -modules modules.spec -svg floorplan.svg
+//
+// Observability: -trace writes the solver's JSONL event stream,
+// -metrics dumps phase timings and per-propagator counters (summary
+// table on "-", Prometheus text format on a file path), and
+// -cpuprofile/-memprofile/-pprof-addr expose the standard Go profiling
+// hooks:
+//
+//	placer -region region.spec -modules modules.spec -trace trace.jsonl -metrics -
 package main
 
 import (
@@ -16,32 +24,57 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/recobus"
 	"repro/internal/render"
 )
 
+// cliOpts carries the parsed command line into run.
+type cliOpts struct {
+	regionPath  string
+	modulesPath string
+	timeout     time.Duration
+	stall       int64
+	first       bool
+	strategy    string
+	svgPath     string
+	pngPath     string
+	outPath     string
+	bitstreams  bool
+	obs         obs.Config
+}
+
 func main() {
-	var (
-		regionPath  = flag.String("region", "", "partial-region description file (required)")
-		modulesPath = flag.String("modules", "", "module specification file (required)")
-		timeout     = flag.Duration("timeout", 10*time.Second, "optimisation budget")
-		stall       = flag.Int64("stall", 2000, "stop after this many nodes without improvement")
-		first       = flag.Bool("first", false, "stop at the first feasible placement")
-		strategy    = flag.String("strategy", "first-fail", "branching: first-fail, largest-first, input-order")
-		svgPath     = flag.String("svg", "", "write an SVG floorplan to this file")
-		pngPath     = flag.String("png", "", "write a PNG floorplan to this file")
-		outPath     = flag.String("out", "", "write the placement file (for checkplacement / external tools)")
-		bitstreams  = flag.Bool("bitstreams", false, "assemble and summarise bitstreams")
-	)
+	var o cliOpts
+	flag.StringVar(&o.regionPath, "region", "", "partial-region description file (required)")
+	flag.StringVar(&o.modulesPath, "modules", "", "module specification file (required)")
+	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "optimisation budget")
+	flag.Int64Var(&o.stall, "stall", 2000, "stop after this many nodes without improvement")
+	flag.BoolVar(&o.first, "first", false, "stop at the first feasible placement")
+	flag.StringVar(&o.strategy, "strategy", "first-fail", "branching: first-fail, largest-first, input-order")
+	flag.StringVar(&o.svgPath, "svg", "", "write an SVG floorplan to this file")
+	flag.StringVar(&o.pngPath, "png", "", "write a PNG floorplan to this file")
+	flag.StringVar(&o.outPath, "out", "", "write the placement file (for checkplacement / external tools)")
+	flag.BoolVar(&o.bitstreams, "bitstreams", false, "assemble and summarise bitstreams")
+	addObsFlags(&o.obs)
 	flag.Parse()
-	if *regionPath == "" || *modulesPath == "" {
+	if o.regionPath == "" || o.modulesPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*regionPath, *modulesPath, *timeout, *stall, *first, *strategy, *svgPath, *pngPath, *outPath, *bitstreams); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "placer:", err)
 		os.Exit(1)
 	}
+}
+
+// addObsFlags registers the shared observability flag set.
+func addObsFlags(cfg *obs.Config) {
+	flag.StringVar(&cfg.TracePath, "trace", "", "write the solver JSONL event trace to this file (- for stdout)")
+	flag.StringVar(&cfg.MetricsPath, "metrics", "", "dump metrics at exit: - for a summary table, a path for Prometheus text format")
+	flag.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&cfg.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 }
 
 func parseStrategy(s string) (core.Strategy, error) {
@@ -53,13 +86,13 @@ func parseStrategy(s string) (core.Strategy, error) {
 	return 0, fmt.Errorf("unknown strategy %q", s)
 }
 
-func run(regionPath, modulesPath string, timeout time.Duration, stall int64, first bool, strategy, svgPath, pngPath, outPath string, bitstreams bool) error {
-	regionFile, err := os.Open(regionPath)
+func run(o cliOpts) (err error) {
+	regionFile, err := os.Open(o.regionPath)
 	if err != nil {
 		return err
 	}
 	defer regionFile.Close()
-	modulesFile, err := os.Open(modulesPath)
+	modulesFile, err := os.Open(o.modulesPath)
 	if err != nil {
 		return err
 	}
@@ -69,27 +102,48 @@ func run(regionPath, modulesPath string, timeout time.Duration, stall int64, fir
 	if err != nil {
 		return err
 	}
-	strat, err := parseStrategy(strategy)
+	strat, err := parseStrategy(o.strategy)
 	if err != nil {
 		return err
 	}
+	session, err := obs.Start(o.obs)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := session.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
 	res, err := flow.Place(core.Options{
-		Timeout:           timeout,
-		StallNodes:        stall,
-		FirstSolutionOnly: first,
+		Timeout:           o.timeout,
+		StallNodes:        o.stall,
+		FirstSolutionOnly: o.first,
 		Strategy:          strat,
+		Recorder:          session.Recorder,
+		Metrics:           session.Registry,
 	})
 	if err != nil {
 		return err
 	}
 	if !res.Found {
-		return fmt.Errorf("no feasible placement for this module set")
+		return fmt.Errorf("no feasible placement for this module set (search %s)", res.Reason)
 	}
 
 	fmt.Println(res)
+	fmt.Printf("search: reason=%s backtracks=%d propagations=%d\n",
+		res.Reason, res.Backtracks, res.Propagations)
+	if len(res.ObjectiveTrace) > 0 {
+		fmt.Print("objective trace:")
+		for _, p := range res.ObjectiveTrace {
+			fmt.Printf(" %d@%v", p.Objective, p.Elapsed.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
 	fmt.Println(render.PlacementsWithRuler(flow.Region, res.Placements))
 
-	if bitstreams {
+	if o.bitstreams {
 		bs, err := flow.Assemble(res)
 		if err != nil {
 			return err
@@ -101,8 +155,8 @@ func run(regionPath, modulesPath string, timeout time.Duration, stall int64, fir
 		fmt.Println("total reconfiguration time:", recobus.TotalReconfigTime(bs))
 	}
 
-	if svgPath != "" {
-		f, err := os.Create(svgPath)
+	if o.svgPath != "" {
+		f, err := os.Create(o.svgPath)
 		if err != nil {
 			return err
 		}
@@ -110,10 +164,10 @@ func run(regionPath, modulesPath string, timeout time.Duration, stall int64, fir
 		if err := render.SVG(f, flow.Region, res.Placements, 10); err != nil {
 			return err
 		}
-		fmt.Println("wrote", svgPath)
+		fmt.Println("wrote", o.svgPath)
 	}
-	if pngPath != "" {
-		f, err := os.Create(pngPath)
+	if o.pngPath != "" {
+		f, err := os.Create(o.pngPath)
 		if err != nil {
 			return err
 		}
@@ -121,10 +175,10 @@ func run(regionPath, modulesPath string, timeout time.Duration, stall int64, fir
 		if err := render.PNG(f, flow.Region, res.Placements, 10); err != nil {
 			return err
 		}
-		fmt.Println("wrote", pngPath)
+		fmt.Println("wrote", o.pngPath)
 	}
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if o.outPath != "" {
+		f, err := os.Create(o.outPath)
 		if err != nil {
 			return err
 		}
@@ -132,7 +186,7 @@ func run(regionPath, modulesPath string, timeout time.Duration, stall int64, fir
 		if err := recobus.WritePlacement(f, res); err != nil {
 			return err
 		}
-		fmt.Println("wrote", outPath)
+		fmt.Println("wrote", o.outPath)
 	}
 	return nil
 }

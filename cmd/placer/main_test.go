@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func writeSpecs(t *testing.T) (regionPath, modulesPath string) {
@@ -24,30 +29,42 @@ func writeSpecs(t *testing.T) (regionPath, modulesPath string) {
 	return regionPath, modulesPath
 }
 
+func baseOpts(regionPath, modulesPath string) cliOpts {
+	return cliOpts{
+		regionPath:  regionPath,
+		modulesPath: modulesPath,
+		timeout:     5 * time.Second,
+		strategy:    "first-fail",
+	}
+}
+
 func TestRunHappyPath(t *testing.T) {
 	regionPath, modulesPath := writeSpecs(t)
 	dir := t.TempDir()
-	svg := filepath.Join(dir, "fp.svg")
-	pngPath := filepath.Join(dir, "fp.png")
-	outPath := filepath.Join(dir, "placement.spec")
-	if err := run(regionPath, modulesPath, 5*time.Second, 200, false, "first-fail", svg, pngPath, outPath, true); err != nil {
+	o := baseOpts(regionPath, modulesPath)
+	o.stall = 200
+	o.svgPath = filepath.Join(dir, "fp.svg")
+	o.pngPath = filepath.Join(dir, "fp.png")
+	o.outPath = filepath.Join(dir, "placement.spec")
+	o.bitstreams = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	placement, err := os.ReadFile(outPath)
+	placement, err := os.ReadFile(o.outPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(string(placement), "place a ") {
 		t.Fatalf("placement file: %q", string(placement))
 	}
-	data, err := os.ReadFile(svg)
+	data, err := os.ReadFile(o.svgPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(string(data), "<svg") {
 		t.Fatal("svg output malformed")
 	}
-	pngData, err := os.ReadFile(pngPath)
+	pngData, err := os.ReadFile(o.pngPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,20 +75,119 @@ func TestRunHappyPath(t *testing.T) {
 
 func TestRunFirstSolution(t *testing.T) {
 	regionPath, modulesPath := writeSpecs(t)
-	if err := run(regionPath, modulesPath, 5*time.Second, 0, true, "largest-first", "", "", "", false); err != nil {
+	o := baseOpts(regionPath, modulesPath)
+	o.first = true
+	o.strategy = "largest-first"
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunObservability runs the acceptance scenario: -trace writes a
+// JSONL event stream whose final incumbent matches the reported
+// placement objective, and -metrics includes phase timings and
+// per-propagator invocation counts.
+func TestRunObservability(t *testing.T) {
+	regionPath, modulesPath := writeSpecs(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	profPath := filepath.Join(dir, "cpu.prof")
+	memPath := filepath.Join(dir, "mem.prof")
+	o := baseOpts(regionPath, modulesPath)
+	o.stall = 200
+	o.obs = obs.Config{
+		TracePath:   tracePath,
+		MetricsPath: metricsPath,
+		CPUProfile:  profPath,
+		MemProfile:  memPath,
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trace: valid JSONL, phases present, a final incumbent exists.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lastIncumbent int
+	incumbents := 0
+	phases := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e struct {
+			Kind      string  `json:"kind"`
+			Phase     string  `json:"phase"`
+			Objective int     `json:"objective"`
+			TMs       float64 `json:"t_ms"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		switch e.Kind {
+		case "incumbent":
+			incumbents++
+			lastIncumbent = e.Objective
+		case "phase":
+			phases[e.Phase] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if incumbents == 0 {
+		t.Fatal("trace has no incumbent events")
+	}
+	if !phases["model_build"] || !phases["search"] {
+		t.Fatalf("trace phases = %v", phases)
+	}
+
+	// Metrics: Prometheus format with phase timings and per-propagator
+	// invocation counts.
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(prom)
+	for _, want := range []string{
+		"phase_model_build_seconds_count",
+		"phase_search_seconds_count",
+		"phase_propagation_seconds_count",
+		`solver_propagator_runs_total{propagator="geost.non-overlap"}`,
+		"solver_branches_total",
+		"solver_best_objective",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The final incumbent in the trace is the reported best objective.
+	if !strings.Contains(text, "solver_best_objective "+strconv.Itoa(lastIncumbent)) {
+		t.Errorf("metrics best objective != trace final incumbent %d:\n%s", lastIncumbent, text)
+	}
+
+	for _, p := range []string{profPath, memPath} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	regionPath, modulesPath := writeSpecs(t)
-	if err := run("/nonexistent", modulesPath, time.Second, 0, false, "first-fail", "", "", "", false); err == nil {
+	o := baseOpts("/nonexistent", modulesPath)
+	if err := run(o); err == nil {
 		t.Error("missing region file accepted")
 	}
-	if err := run(regionPath, "/nonexistent", time.Second, 0, false, "first-fail", "", "", "", false); err == nil {
+	o = baseOpts(regionPath, "/nonexistent")
+	if err := run(o); err == nil {
 		t.Error("missing modules file accepted")
 	}
-	if err := run(regionPath, modulesPath, time.Second, 0, false, "wat", "", "", "", false); err == nil {
+	o = baseOpts(regionPath, modulesPath)
+	o.strategy = "wat"
+	if err := run(o); err == nil {
 		t.Error("bad strategy accepted")
 	}
 }

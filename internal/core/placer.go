@@ -11,6 +11,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/module"
+	"repro/internal/obs"
 )
 
 // Strategy selects the branching-variable heuristic.
@@ -94,6 +95,14 @@ type Options struct {
 	// guaranteed footprint prune their neighbours before being
 	// assigned. More pruning per node, fewer nodes.
 	StrongPropagation bool
+	// Recorder, when non-nil, receives the structured solver event
+	// stream (phase markers, branches, backtracks, prunes, incumbents).
+	// Nil keeps the solve free of any recording overhead.
+	Recorder obs.Recorder
+	// Metrics, when non-nil, receives phase timings (model build,
+	// search, propagation, optimality proof) and enables per-fixpoint
+	// propagation timing on the store.
+	Metrics *obs.Registry
 }
 
 // Placer places modules onto one partial region. It holds no mutable
@@ -117,7 +126,16 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 		return nil, fmt.Errorf("core: no modules to place")
 	}
 
+	reg := p.opts.Metrics
+	if p.opts.Recorder != nil {
+		p.opts.Recorder.Record(obs.Event{Kind: obs.KindPhase, Phase: "model_build"})
+	}
+	buildT := reg.Timer("phase_model_build")
+
 	st := csp.NewStore()
+	if reg != nil {
+		st.EnableTiming(true)
+	}
 	k := geost.New(st, p.region.W(), p.region.H())
 	objects := make([]*geost.Object, len(mods))
 	for i, m := range mods {
@@ -139,11 +157,13 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 		k.PostCompulsoryNonOverlap()
 	}
 	height := k.PostHeightObjective(CapacityPrefix(p.region))
+	buildT.Stop()
 
 	opts := csp.Options{
 		ChooseVar:   p.chooser(mods, objects),
 		OrderValues: p.valueOrderer(objects),
 		StallNodes:  p.opts.StallNodes,
+		Recorder:    p.opts.Recorder,
 	}
 	if p.opts.Timeout > 0 {
 		opts.Deadline = start.Add(p.opts.Timeout)
@@ -164,6 +184,10 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 		}
 	}
 
+	if p.opts.Recorder != nil {
+		p.opts.Recorder.Record(obs.Event{Kind: obs.KindPhase, Phase: "search"})
+	}
+	searchT := reg.Timer("phase_search")
 	if p.opts.FirstSolutionOnly {
 		sres, err := csp.Solve(st, k.PlaceVars(), opts, func(s *csp.Store) bool {
 			best := height.Min() // all tops assigned: max top = height min
@@ -174,6 +198,9 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 			return nil, err
 		}
 		res.Nodes = sres.Nodes
+		res.Backtracks = sres.Backtracks
+		res.Propagations = sres.Propagations
+		res.Reason = sres.Reason
 		res.Optimal = false
 	} else {
 		mres, err := csp.Minimize(st, k.PlaceVars(), height, opts, snapshot)
@@ -181,8 +208,22 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 			return nil, err
 		}
 		res.Nodes = mres.Nodes
+		res.Backtracks = mres.Backtracks
+		res.Propagations = mres.Propagations
+		res.Reason = mres.Reason
 		res.Optimal = mres.Found && mres.Optimal
 		res.Stalled = mres.Stalled
+		res.ObjectiveTrace = mres.BestObjectiveTrace
+	}
+	searchDur := searchT.Stop()
+	if reg != nil {
+		reg.ObserveDuration("phase_propagation", st.PropagationTime())
+		// The optimality proof is the tail of the search after the last
+		// improving solution.
+		if res.Optimal && len(res.ObjectiveTrace) > 0 {
+			last := res.ObjectiveTrace[len(res.ObjectiveTrace)-1]
+			reg.ObserveDuration("phase_proof", searchDur-last.Elapsed)
+		}
 	}
 
 	res.Elapsed = time.Since(start)

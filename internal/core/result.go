@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/csp"
 	"repro/internal/fabric"
 	"repro/internal/grid"
 	"repro/internal/metrics"
@@ -61,8 +62,19 @@ type Result struct {
 	// Stalled reports that optimisation stopped via the StallNodes
 	// convergence criterion rather than by exhausting the search space.
 	Stalled bool
+	// Reason says why the underlying search ended (exhausted, timeout,
+	// stalled or cut), removing the ambiguity of a silent stop.
+	Reason csp.StopReason
 	// Nodes is the number of search nodes explored.
 	Nodes int64
+	// Backtracks counts dead ends hit during the search.
+	Backtracks int64
+	// Propagations counts propagator executions during the search.
+	Propagations int64
+	// ObjectiveTrace records every improving solution (objective value,
+	// node count and wall-clock offset), reconstructing the solver's
+	// anytime behaviour. Empty in first-solution-only mode.
+	ObjectiveTrace []csp.ObjectivePoint
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
 }
@@ -82,7 +94,7 @@ func (res *Result) String() string {
 	if !res.Found {
 		return fmt.Sprintf("no placement (nodes=%d, %v)", res.Nodes, res.Elapsed)
 	}
-	opt := "anytime"
+	opt := "anytime/" + res.Reason.String()
 	if res.Optimal {
 		opt = "optimal"
 	}

@@ -28,6 +28,9 @@ func AllDifferentBounds(st *Store, vars ...*Var) {
 	st.Post(p, vars...)
 }
 
+// Name implements Named.
+func (p *allDifferentBounds) Name() string { return "csp.all-different-bounds" }
+
 func (p *allDifferentBounds) Propagate(st *Store) error {
 	if err := p.tightenMins(st); err != nil {
 		return err

@@ -1,6 +1,10 @@
 package csp
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
 
 // BenchmarkQueensFirstSolution measures raw search machinery throughput:
 // time to the first solution of 12-queens.
@@ -22,6 +26,37 @@ func BenchmarkQueensCountAll(b *testing.B) {
 		st := NewStore()
 		q := postQueens(st, 8)
 		res, err := Solve(st, q, Options{}, func(*Store) bool { return true })
+		if err != nil || res.Solutions != 92 {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkSearch is the observability acceptance benchmark: a full
+// 8-queens enumeration with recording disabled. Its allocation count
+// must not move when instrumentation is added — all event emission is
+// gated on a nil recorder check.
+func BenchmarkSearch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := NewStore()
+		q := postQueens(st, 8)
+		res, err := Solve(st, q, Options{}, func(*Store) bool { return true })
+		if err != nil || res.Solutions != 92 {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkSearchTraced is the same workload with a Stats recorder
+// attached, quantifying the cost of turning recording on.
+func BenchmarkSearchTraced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := NewStore()
+		q := postQueens(st, 8)
+		rec := obs.NewStats(obs.NewRegistry())
+		res, err := Solve(st, q, Options{Recorder: rec}, func(*Store) bool { return true })
 		if err != nil || res.Solutions != 92 {
 			b.Fatalf("res=%+v err=%v", res, err)
 		}

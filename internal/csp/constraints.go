@@ -16,6 +16,9 @@ func NotEqualOffset(st *Store, x, y *Var, c int) {
 	st.Post(&notEqualOffset{x, y, c}, x, y)
 }
 
+// Name implements Named.
+func (p *notEqualOffset) Name() string { return "csp.not-equal" }
+
 func (p *notEqualOffset) Propagate(st *Store) error {
 	if v, ok := p.y.dom.Singleton(); ok {
 		if err := st.Remove(p.x, v+p.c); err != nil {
@@ -44,6 +47,9 @@ func LessEqOffset(st *Store, x, y *Var, c int) {
 	st.Post(&lessEqOffset{x, y, c}, x, y)
 }
 
+// Name implements Named.
+func (p *lessEqOffset) Name() string { return "csp.less-eq" }
+
 func (p *lessEqOffset) Propagate(st *Store) error {
 	if err := st.SetMax(p.x, p.y.Max()-p.c); err != nil {
 		return err
@@ -65,6 +71,9 @@ func EqualOffset(st *Store, x, y *Var, c int) {
 	st.Post(&equalOffset{x, y, c}, x, y)
 }
 
+// Name implements Named.
+func (p *equalOffset) Name() string { return "csp.equal" }
+
 func (p *equalOffset) Propagate(st *Store) error {
 	if err := st.FilterDomain(p.x, func(v int) bool { return p.y.dom.Contains(v - p.c) }); err != nil {
 		return err
@@ -83,6 +92,9 @@ func AllDifferent(st *Store, vars ...*Var) {
 	p := &allDifferent{vars: vars}
 	st.Post(p, vars...)
 }
+
+// Name implements Named.
+func (p *allDifferent) Name() string { return "csp.all-different" }
 
 func (p *allDifferent) Propagate(st *Store) error {
 	for _, v := range p.vars {
@@ -114,6 +126,9 @@ func Sum(st *Store, total *Var, vars ...*Var) {
 	watched := append([]*Var{total}, vars...)
 	st.Post(p, watched...)
 }
+
+// Name implements Named.
+func (p *sum) Name() string { return "csp.sum" }
 
 func (p *sum) Propagate(st *Store) error {
 	loSum, hiSum := 0, 0
@@ -156,6 +171,9 @@ func MaxOf(st *Store, m *Var, vars ...*Var) {
 	watched := append([]*Var{m}, vars...)
 	st.Post(p, watched...)
 }
+
+// Name implements Named.
+func (p *maxOf) Name() string { return "csp.max-of" }
 
 func (p *maxOf) Propagate(st *Store) error {
 	// m's bounds from the vars.
@@ -220,6 +238,9 @@ func Element(st *Store, index *Var, table []int, result *Var) {
 	st.Post(&element{index: index, table: table, result: result}, index, result)
 }
 
+// Name implements Named.
+func (p *element) Name() string { return "csp.element" }
+
 func (p *element) Propagate(st *Store) error {
 	if err := st.FilterDomain(p.index, func(i int) bool {
 		return i >= 0 && i < len(p.table) && p.result.dom.Contains(p.table[i])
@@ -267,6 +288,9 @@ func BinaryTable(st *Store, x, y *Var, pairs [][2]int) {
 	}
 	st.Post(p, x, y)
 }
+
+// Name implements Named.
+func (p *binaryTable) Name() string { return "csp.binary-table" }
 
 func (p *binaryTable) Propagate(st *Store) error {
 	if err := st.FilterDomain(p.x, func(xv int) bool {

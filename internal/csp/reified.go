@@ -21,6 +21,9 @@ func ChannelEq(st *Store, b, x *Var, v int) {
 	st.Post(&channelEq{b: b, x: x, v: v}, b, x)
 }
 
+// Name implements Named.
+func (p *channelEq) Name() string { return "csp.channel-eq" }
+
 func (p *channelEq) Propagate(st *Store) error {
 	// x decided relative to v ⇒ b decided.
 	if !p.x.Domain().Contains(p.v) {

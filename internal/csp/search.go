@@ -2,6 +2,8 @@ package csp
 
 import (
 	"time"
+
+	"repro/internal/obs"
 )
 
 // VarChooser selects the next unassigned variable to branch on, or nil
@@ -65,6 +67,12 @@ type Options struct {
 	// this many nodes without improving the incumbent — a deterministic
 	// convergence criterion for anytime optimisation. Solve ignores it.
 	StallNodes int64
+	// Recorder, when non-nil, receives the structured search event
+	// stream (branch, backtrack, solution, incumbent) and is installed
+	// on the store for the duration of the search so propagation-level
+	// events (propagate, prune) are captured too. Nil keeps the search
+	// hot path free of any recording overhead.
+	Recorder obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -77,33 +85,86 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result summarises a search run.
-type Result struct {
+// StopReason says why a search run ended. The zero value (StopExhausted)
+// is only reported by runs that actually ran to completion; aborted runs
+// carry the specific cause, removing the silent-stop ambiguity between a
+// proof, a stall and a timeout.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	// StopExhausted: the search space was fully explored (for Minimize
+	// this is the optimality proof).
+	StopExhausted StopReason = iota
+	// StopTimeout: Options.Deadline fired.
+	StopTimeout
+	// StopStalled: Options.StallNodes elapsed without an improvement.
+	StopStalled
+	// StopCut: enumeration was cut short by the solution callback or
+	// Options.MaxSolutions.
+	StopCut
+)
+
+// String names the reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopExhausted:
+		return "exhausted"
+	case StopTimeout:
+		return "timeout"
+	case StopStalled:
+		return "stalled"
+	case StopCut:
+		return "cut"
+	}
+	return "unknown"
+}
+
+// SearchResult summarises a Solve run.
+type SearchResult struct {
 	// Solutions is the number of solutions delivered.
 	Solutions int
 	// Complete is true when the search space was exhausted (false when
 	// the deadline fired or enumeration was cut short).
 	Complete bool
+	// Reason says why the run ended (exhausted, timeout or cut).
+	Reason StopReason
 	// Nodes counts branching nodes explored.
 	Nodes int64
+	// Backtracks counts dead ends: branch attempts whose propagation
+	// failed.
+	Backtracks int64
+	// Propagations counts propagator executions during the run.
+	Propagations int64
 }
 
 // Solve runs depth-first search over vars, invoking onSolution with the
 // store in an all-assigned, propagated state for every solution. If
 // onSolution returns false, enumeration stops early. The store is left
 // at its entry state.
-func Solve(st *Store, vars []*Var, opts Options, onSolution func(*Store) bool) (Result, error) {
+func Solve(st *Store, vars []*Var, opts Options, onSolution func(*Store) bool) (SearchResult, error) {
 	opts = opts.withDefaults()
-	var res Result
+	var res SearchResult
+	propBase := st.nPropag
+	if opts.Recorder != nil {
+		prev := st.Recorder()
+		st.SetRecorder(opts.Recorder)
+		defer st.SetRecorder(prev)
+	}
 	if err := st.Propagate(); err != nil {
+		res.Propagations = st.nPropag - propBase
 		if err == ErrInconsistent {
 			res.Complete = true
 			return res, nil
 		}
 		return res, err
 	}
-	stop := searchRec(st, vars, &opts, &res, onSolution)
+	stop := searchRec(st, vars, &opts, &res, 0, onSolution)
 	res.Complete = !stop
+	if !stop {
+		res.Reason = StopExhausted
+	}
+	res.Propagations = st.nPropag - propBase
 	return res, nil
 }
 
@@ -113,38 +174,62 @@ func deadlineHit(opts *Options) bool {
 
 // searchRec returns true when enumeration must stop entirely (deadline
 // or solution-callback cut).
-func searchRec(st *Store, vars []*Var, opts *Options, res *Result, onSolution func(*Store) bool) bool {
+func searchRec(st *Store, vars []*Var, opts *Options, res *SearchResult, depth int, onSolution func(*Store) bool) bool {
 	if deadlineHit(opts) {
+		res.Reason = StopTimeout
 		return true
 	}
 	v := opts.ChooseVar(vars)
 	if v == nil {
 		res.Solutions++
+		if opts.Recorder != nil {
+			opts.Recorder.Record(obs.Event{Kind: obs.KindSolution, Depth: depth})
+		}
 		keepGoing := onSolution(st)
 		if !keepGoing {
+			res.Reason = StopCut
 			return true
 		}
 		if opts.MaxSolutions > 0 && res.Solutions >= opts.MaxSolutions {
+			res.Reason = StopCut
 			return true
 		}
 		return false
 	}
 	res.Nodes++
 	for _, val := range opts.OrderValues(v) {
+		if opts.Recorder != nil {
+			opts.Recorder.Record(obs.Event{Kind: obs.KindBranch, Var: v.name, Value: val, Depth: depth})
+		}
 		st.Push()
 		err := st.Assign(v, val)
 		if err == nil {
 			err = st.Propagate()
 		}
 		if err == nil {
-			if stop := searchRec(st, vars, opts, res, onSolution); stop {
+			if stop := searchRec(st, vars, opts, res, depth+1, onSolution); stop {
 				st.Pop()
 				return true
+			}
+		} else {
+			res.Backtracks++
+			if opts.Recorder != nil {
+				opts.Recorder.Record(obs.Event{Kind: obs.KindBacktrack, Depth: depth})
 			}
 		}
 		st.Pop()
 	}
 	return false
+}
+
+// ObjectivePoint is one improving step of a branch-and-bound run: the
+// new incumbent objective, and when it was found in nodes and wall-clock
+// time since the start of the run. The sequence of points reconstructs
+// the solver's anytime behaviour (objective-vs-time curves).
+type ObjectivePoint struct {
+	Objective int
+	Nodes     int64
+	Elapsed   time.Duration
 }
 
 // MinimizeResult reports the outcome of a branch-and-bound run.
@@ -156,10 +241,33 @@ type MinimizeResult struct {
 	// Optimal is true when the search proved Best optimal (search space
 	// exhausted under the final bound).
 	Optimal bool
-	// Stalled is true when the run stopped via Options.StallNodes.
+	// Stalled is true when the run stopped via Options.StallNodes
+	// (equivalent to Reason == StopStalled).
 	Stalled bool
+	// Reason says why the run ended: StopExhausted is a completed
+	// optimality proof (or infeasibility proof), StopStalled the
+	// StallNodes criterion, StopTimeout the deadline.
+	Reason StopReason
 	// Nodes counts branching nodes explored.
 	Nodes int64
+	// Backtracks counts dead ends: branch attempts whose propagation
+	// failed.
+	Backtracks int64
+	// Propagations counts propagator executions during the run.
+	Propagations int64
+	// BestObjectiveTrace records every improving solution in order —
+	// the incumbent-over-time series.
+	BestObjectiveTrace []ObjectivePoint
+}
+
+// minimizeState carries the mutable bookkeeping of one Minimize run that
+// is not part of the public result.
+type minimizeState struct {
+	bound        int
+	boundHandle  int
+	lastImproved int64
+	start        time.Time
+	onImproved   func(*Store, int)
 }
 
 // Minimize finds an assignment of vars minimising obj using depth-first
@@ -170,13 +278,23 @@ type MinimizeResult struct {
 func Minimize(st *Store, vars []*Var, obj *Var, opts Options, onImproved func(*Store, int)) (MinimizeResult, error) {
 	opts = opts.withDefaults()
 	var res MinimizeResult
+	propBase := st.nPropag
+	if opts.Recorder != nil {
+		prev := st.Recorder()
+		st.SetRecorder(opts.Recorder)
+		defer st.SetRecorder(prev)
+	}
 
-	// bound is exclusive: solutions must achieve obj < bound.
-	bound := obj.Max() + 1
+	ms := &minimizeState{
+		// bound is exclusive: solutions must achieve obj < bound.
+		bound:      obj.Max() + 1,
+		start:      time.Now(),
+		onImproved: onImproved,
+	}
 	boundProp := FuncProp(func(s *Store) error {
-		return s.SetMax(obj, bound-1)
+		return s.SetMax(obj, ms.bound-1)
 	})
-	boundHandle := st.Post(boundProp, obj)
+	ms.boundHandle = st.Post(WithName(boundProp, "bnb.bound"), obj)
 
 	searchVars := vars
 	if !containsVar(vars, obj) {
@@ -184,6 +302,7 @@ func Minimize(st *Store, vars []*Var, obj *Var, opts Options, onImproved func(*S
 	}
 
 	if err := st.Propagate(); err != nil {
+		res.Propagations = st.nPropag - propBase
 		if err == ErrInconsistent {
 			res.Optimal = true // infeasible: vacuously closed
 			return res, nil
@@ -191,9 +310,12 @@ func Minimize(st *Store, vars []*Var, obj *Var, opts Options, onImproved func(*S
 		return res, err
 	}
 
-	var lastImproved int64
-	stopped := minimizeRec(st, searchVars, obj, &opts, &res, &bound, boundHandle, &lastImproved, onImproved)
+	stopped := minimizeRec(st, searchVars, obj, &opts, &res, ms, 0)
 	res.Optimal = !stopped
+	if !stopped {
+		res.Reason = StopExhausted
+	}
+	res.Propagations = st.nPropag - propBase
 	return res, nil
 }
 
@@ -206,12 +328,14 @@ func containsVar(vars []*Var, v *Var) bool {
 	return false
 }
 
-func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeResult, bound *int, boundHandle int, lastImproved *int64, onImproved func(*Store, int)) bool {
+func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeResult, ms *minimizeState, depth int) bool {
 	if deadlineHit(opts) {
+		res.Reason = StopTimeout
 		return true
 	}
-	if opts.StallNodes > 0 && res.Found && res.Nodes-*lastImproved > opts.StallNodes {
+	if opts.StallNodes > 0 && res.Found && res.Nodes-ms.lastImproved > opts.StallNodes {
 		res.Stalled = true
+		res.Reason = StopStalled
 		return true
 	}
 	v := opts.ChooseVar(vars)
@@ -220,10 +344,18 @@ func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeR
 		if !res.Found || val < res.Best {
 			res.Found = true
 			res.Best = val
-			*bound = val
-			*lastImproved = res.Nodes
-			if onImproved != nil {
-				onImproved(st, val)
+			ms.bound = val
+			ms.lastImproved = res.Nodes
+			res.BestObjectiveTrace = append(res.BestObjectiveTrace, ObjectivePoint{
+				Objective: val,
+				Nodes:     res.Nodes,
+				Elapsed:   time.Since(ms.start),
+			})
+			if opts.Recorder != nil {
+				opts.Recorder.Record(obs.Event{Kind: obs.KindIncumbent, Objective: val, Nodes: res.Nodes, Depth: depth})
+			}
+			if ms.onImproved != nil {
+				ms.onImproved(st, val)
 			}
 		}
 		return false
@@ -231,18 +363,27 @@ func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeR
 	res.Nodes++
 	for _, val := range opts.OrderValues(v) {
 		if deadlineHit(opts) {
+			res.Reason = StopTimeout
 			return true
 		}
+		if opts.Recorder != nil {
+			opts.Recorder.Record(obs.Event{Kind: obs.KindBranch, Var: v.name, Value: val, Depth: depth})
+		}
 		st.Push()
-		st.Schedule(boundHandle) // the bound may have tightened since Push
+		st.Schedule(ms.boundHandle) // the bound may have tightened since Push
 		err := st.Assign(v, val)
 		if err == nil {
 			err = st.Propagate()
 		}
 		if err == nil {
-			if stop := minimizeRec(st, vars, obj, opts, res, bound, boundHandle, lastImproved, onImproved); stop {
+			if stop := minimizeRec(st, vars, obj, opts, res, ms, depth+1); stop {
 				st.Pop()
 				return true
+			}
+		} else {
+			res.Backtracks++
+			if opts.Recorder != nil {
+				opts.Recorder.Record(obs.Event{Kind: obs.KindBacktrack, Depth: depth})
 			}
 		}
 		st.Pop()

@@ -3,6 +3,10 @@ package csp
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrInconsistent is returned by propagation when some variable's domain
@@ -63,6 +67,13 @@ type Propagator interface {
 	Propagate(st *Store) error
 }
 
+// Named is an optional Propagator extension: a stable human-readable
+// name used to attribute propagation metrics and trace events. Unnamed
+// propagators fall back to their Go type name.
+type Named interface {
+	Name() string
+}
+
 type trailEntry struct {
 	v   *Var
 	dom *Domain
@@ -72,9 +83,21 @@ type trailEntry struct {
 // Store owns variables and propagators and provides trailing (Push/Pop)
 // and fixpoint propagation. It is the solver state threaded through
 // search.
+// propEntry is a registered propagator plus its always-on bookkeeping.
+// Keeping runs inline (rather than in a parallel slice) means Post does
+// exactly the same number of allocations as before instrumentation, and
+// the per-execution cost is a single field increment. The name is
+// resolved lazily and cached, so the uninstrumented path never touches
+// it.
+type propEntry struct {
+	p    Propagator
+	name string // lazily cached; see Store.propName
+	runs int64
+}
+
 type Store struct {
 	vars  []*Var
-	props []Propagator
+	props []propEntry
 
 	queue   []int // propagator indices pending execution
 	queued  []bool
@@ -83,10 +106,35 @@ type Store struct {
 	level   int
 	failed  bool
 	nPropag int64 // statistics: propagator executions
+
+	// Observability. rec is nil on the uninstrumented path; running is
+	// the index of the propagator currently executing, for prune
+	// attribution (-1 outside propagation).
+	rec       obs.Recorder
+	running   int
+	timing    bool
+	propagDur time.Duration
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{} }
+func NewStore() *Store { return &Store{running: -1} }
+
+// SetRecorder installs rec as the event sink for propagate/prune events
+// (nil disables recording). Search installs Options.Recorder here for
+// the duration of a run.
+func (st *Store) SetRecorder(rec obs.Recorder) { st.rec = rec }
+
+// Recorder returns the currently installed event sink (nil when none).
+func (st *Store) Recorder() obs.Recorder { return st.rec }
+
+// EnableTiming makes Propagate accumulate wall-clock time spent in
+// propagation, readable via PropagationTime. Off by default: timing
+// costs two clock reads per fixpoint computation.
+func (st *Store) EnableTiming(on bool) { st.timing = on }
+
+// PropagationTime returns the accumulated propagation wall-clock time
+// (zero unless EnableTiming was switched on).
+func (st *Store) PropagationTime() time.Duration { return st.propagDur }
 
 // NewVar creates a variable with the given initial domain. The domain is
 // cloned: callers may reuse the argument.
@@ -114,7 +162,7 @@ func (st *Store) Vars() []*Var { return st.vars }
 // changes.
 func (st *Store) Post(p Propagator, watched ...*Var) int {
 	idx := len(st.props)
-	st.props = append(st.props, p)
+	st.props = append(st.props, propEntry{p: p})
 	st.queued = append(st.queued, false)
 	for _, v := range watched {
 		v.watchers = append(v.watchers, idx)
@@ -135,6 +183,82 @@ func (st *Store) enqueue(idx int) {
 
 // Stats returns the number of propagator executions so far.
 func (st *Store) Stats() int64 { return st.nPropag }
+
+// PropagatorStat is the aggregated execution count of all propagators
+// sharing one name (e.g. every geost.non-overlap pair).
+type PropagatorStat struct {
+	Name string
+	Runs int64
+}
+
+// propName names the propagator at idx, resolving and caching it on
+// first use: the declared Named name when available, the Go type name
+// otherwise.
+func (st *Store) propName(idx int) string {
+	e := &st.props[idx]
+	if e.name == "" {
+		if n, ok := e.p.(Named); ok {
+			e.name = n.Name()
+		} else {
+			e.name = fmt.Sprintf("%T", e.p)
+		}
+	}
+	return e.name
+}
+
+// PropagatorStats returns per-propagator execution counts aggregated by
+// name, most-run first (ties broken alphabetically).
+func (st *Store) PropagatorStats() []PropagatorStat {
+	byName := map[string]int64{}
+	for i := range st.props {
+		byName[st.propName(i)] += st.props[i].runs
+	}
+	out := make([]PropagatorStat, 0, len(byName))
+	for n, r := range byName {
+		out = append(out, PropagatorStat{Name: n, Runs: r})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Runs != out[j].Runs {
+			return out[i].Runs > out[j].Runs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// namedProp decorates a propagator with an explicit metrics name.
+type namedProp struct {
+	Propagator
+	name string
+}
+
+// Name implements Named.
+func (p namedProp) Name() string { return p.name }
+
+// WithName gives p an explicit name for metrics and trace attribution,
+// overriding the Go type-name fallback.
+func WithName(p Propagator, name string) Propagator { return namedProp{p, name} }
+
+// runningName names the propagator currently executing ("" outside
+// propagation — e.g. a prune caused by a search branching decision).
+func (st *Store) runningName() string {
+	if st.running < 0 {
+		return ""
+	}
+	return st.propName(st.running)
+}
+
+// notePrune emits a prune event for v; before is v's domain size
+// captured ahead of the mutation. Call only when st.rec != nil was
+// already checked to keep the disabled path free of any work.
+func (st *Store) notePrune(v *Var, before int) {
+	st.rec.Record(obs.Event{
+		Kind:    obs.KindPrune,
+		Var:     v.name,
+		Removed: before - v.dom.Size(),
+		Prop:    st.runningName(),
+	})
+}
 
 // ensureOwned makes v's domain writable at the current level, trailing
 // the previous domain for restoration on Pop.
@@ -165,6 +289,9 @@ func (st *Store) Remove(v *Var, val int) error {
 	}
 	st.ensureOwned(v)
 	if v.dom.Remove(val) {
+		if st.rec != nil {
+			st.notePrune(v, v.dom.Size()+1)
+		}
 		return st.changed(v)
 	}
 	return nil
@@ -175,8 +302,15 @@ func (st *Store) SetMin(v *Var, lo int) error {
 	if v.dom.Empty() || lo <= v.dom.Min() {
 		return nil
 	}
+	before := 0
+	if st.rec != nil {
+		before = v.dom.Size()
+	}
 	st.ensureOwned(v)
 	if v.dom.RemoveBelow(lo) {
+		if st.rec != nil {
+			st.notePrune(v, before)
+		}
 		return st.changed(v)
 	}
 	return nil
@@ -187,8 +321,15 @@ func (st *Store) SetMax(v *Var, hi int) error {
 	if v.dom.Empty() || hi >= v.dom.Max() {
 		return nil
 	}
+	before := 0
+	if st.rec != nil {
+		before = v.dom.Size()
+	}
 	st.ensureOwned(v)
 	if v.dom.RemoveAbove(hi) {
+		if st.rec != nil {
+			st.notePrune(v, before)
+		}
 		return st.changed(v)
 	}
 	return nil
@@ -203,8 +344,15 @@ func (st *Store) Assign(v *Var, val int) error {
 	if v.dom.Size() == 1 {
 		return nil
 	}
+	before := 0
+	if st.rec != nil {
+		before = v.dom.Size()
+	}
 	st.ensureOwned(v)
 	if v.dom.KeepOnly(val) {
+		if st.rec != nil {
+			st.notePrune(v, before)
+		}
 		return st.changed(v)
 	}
 	return nil
@@ -224,8 +372,15 @@ func (st *Store) FilterDomain(v *Var, keep func(int) bool) error {
 	if !any {
 		return nil
 	}
+	before := 0
+	if st.rec != nil {
+		before = v.dom.Size()
+	}
 	st.ensureOwned(v)
 	if v.dom.Filter(keep) {
+		if st.rec != nil {
+			st.notePrune(v, before)
+		}
 		return st.changed(v)
 	}
 	return nil
@@ -235,6 +390,16 @@ func (st *Store) FilterDomain(v *Var, keep func(int) bool) error {
 // is drained and ErrInconsistent returned; the store remains usable
 // after a Pop.
 func (st *Store) Propagate() error {
+	if !st.timing {
+		return st.propagate()
+	}
+	start := time.Now()
+	err := st.propagate()
+	st.propagDur += time.Since(start)
+	return err
+}
+
+func (st *Store) propagate() error {
 	if st.failed {
 		st.queue = st.queue[:0]
 		for i := range st.queued {
@@ -247,7 +412,14 @@ func (st *Store) Propagate() error {
 		st.queue = st.queue[1:]
 		st.queued[idx] = false
 		st.nPropag++
-		if err := st.props[idx].Propagate(st); err != nil {
+		st.props[idx].runs++
+		if st.rec != nil {
+			st.rec.Record(obs.Event{Kind: obs.KindPropagate, Prop: st.propName(idx)})
+		}
+		st.running = idx
+		err := st.props[idx].p.Propagate(st)
+		st.running = -1
+		if err != nil {
 			st.failed = true
 			st.queue = st.queue[:0]
 			for i := range st.queued {

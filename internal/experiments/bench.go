@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+)
+
+// RunRecord is the per-testcase outcome of one Table-I solve, in the
+// machine-readable form consumed by benchmark tooling (BENCH_table1.json).
+type RunRecord struct {
+	Run          int     `json:"run"`
+	Arm          string  `json:"arm"` // "without" or "with" design alternatives
+	Found        bool    `json:"found"`
+	Seconds      float64 `json:"seconds"`
+	Nodes        int64   `json:"nodes"`
+	Backtracks   int64   `json:"backtracks"`
+	Propagations int64   `json:"propagations"`
+	Utilization  float64 `json:"utilization"`
+	Height       int     `json:"height"`
+	Optimal      bool    `json:"optimal"`
+	Reason       string  `json:"reason"`
+}
+
+// record flattens one measured placement into a RunRecord.
+func record(run int, arm string, res *core.Result) RunRecord {
+	return RunRecord{
+		Run:          run,
+		Arm:          arm,
+		Found:        res.Found,
+		Seconds:      res.Elapsed.Seconds(),
+		Nodes:        res.Nodes,
+		Backtracks:   res.Backtracks,
+		Propagations: res.Propagations,
+		Utilization:  res.Utilization,
+		Height:       res.Height,
+		Optimal:      res.Optimal,
+		Reason:       res.Reason.String(),
+	}
+}
+
+// benchFile is the BENCH_table1.json wire format.
+type benchFile struct {
+	Experiment string      `json:"experiment"`
+	Runs       int         `json:"runs"`
+	Records    []RunRecord `json:"records"`
+}
+
+// WriteBenchJSON writes the per-testcase records of a Table-I run as
+// indented JSON.
+func WriteBenchJSON(w io.Writer, res *TableIResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benchFile{
+		Experiment: "table1",
+		Runs:       res.Runs,
+		Records:    res.Records,
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/module"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -54,6 +55,15 @@ type RunConfig struct {
 	Timeout time.Duration
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Recorder, when non-nil, receives the solver event stream of every
+	// solve in the protocol.
+	Recorder obs.Recorder
+	// Metrics, when non-nil, aggregates phase timings across all solves.
+	Metrics *obs.Registry
+	// BenchPath, when non-empty, is where cmd/experiment writes the
+	// per-testcase JSON of the table1 experiment (BENCH_table1.json).
+	// The harness itself does not touch the file.
+	BenchPath string
 }
 
 func (c RunConfig) defaults() RunConfig {
@@ -92,6 +102,9 @@ type TableIResult struct {
 	Runs    int
 	Without Arm
 	With    Arm
+	// Records holds the raw per-testcase outcomes (two per run, one per
+	// arm), for machine-readable export via WriteBenchJSON.
+	Records []RunRecord
 }
 
 // UtilGain returns the utilization improvement in percentage points
@@ -144,6 +157,8 @@ func RunTableI(cfg RunConfig) (*TableIResult, error) {
 	placer := core.New(cfg.Region, core.Options{
 		Timeout:    cfg.Timeout,
 		StallNodes: cfg.StallNodes,
+		Recorder:   cfg.Recorder,
+		Metrics:    cfg.Metrics,
 	})
 	for run := 0; run < cfg.Runs; run++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(run)))
@@ -162,6 +177,7 @@ func RunTableI(cfg RunConfig) (*TableIResult, error) {
 			return nil, fmt.Errorf("experiments: run %d (with): %w", run, err)
 		}
 
+		res.Records = append(res.Records, record(run, "without", without), record(run, "with", with))
 		nShapes += countShapes(single)
 		wShapes += countShapes(mods)
 		if without.Found {

@@ -70,6 +70,9 @@ type compulsoryPair struct {
 	a, b *Object
 }
 
+// Name implements csp.Named.
+func (p *compulsoryPair) Name() string { return "geost.compulsory" }
+
 func (p *compulsoryPair) Propagate(st *csp.Store) error {
 	if err := p.dir(st, p.a, p.b); err != nil {
 		return err

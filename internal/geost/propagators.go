@@ -15,6 +15,9 @@ type topLink struct {
 	o *Object
 }
 
+// Name implements csp.Named.
+func (p *topLink) Name() string { return "geost.top-link" }
+
 func (p *topLink) Propagate(st *csp.Store) error {
 	o := p.o
 	lo, hi := o.k.h+1, -1
@@ -52,6 +55,9 @@ type nonOverlapPair struct {
 	k    *Kernel
 	a, b *Object
 }
+
+// Name implements csp.Named.
+func (p *nonOverlapPair) Name() string { return "geost.non-overlap" }
 
 func (p *nonOverlapPair) Propagate(st *csp.Store) error {
 	if err := p.dir(st, p.a, p.b); err != nil {
@@ -129,6 +135,9 @@ func (k *Kernel) PostHeightObjective(capPrefix []fabric.Histogram) *csp.Var {
 	k.st.Post(hb, watched...)
 	return height
 }
+
+// Name implements csp.Named.
+func (p *heightBound) Name() string { return "geost.height-bound" }
 
 func (p *heightBound) Propagate(st *csp.Store) error {
 	var demand fabric.Histogram

@@ -205,3 +205,37 @@ func TestBusDistance(t *testing.T) {
 		t.Fatal("empty inputs should be 0")
 	}
 }
+
+func TestBusDistanceEdges(t *testing.T) {
+	// Exactly abutting: span [2,5) covers rows 2..4. A bus at 5 is the
+	// first row above the module — distance 1, not 0. Likewise a bus at
+	// 1 just below. Buses at the boundary rows 2 and 4 cross: 0.
+	if got := BusDistance([][2]int{{2, 5}}, []int{5}); got != 1 {
+		t.Errorf("bus abutting above = %v, want 1", got)
+	}
+	if got := BusDistance([][2]int{{2, 5}}, []int{1}); got != 1 {
+		t.Errorf("bus abutting below = %v, want 1", got)
+	}
+	if got := BusDistance([][2]int{{2, 5}}, []int{2}); got != 0 {
+		t.Errorf("bus on bottom row = %v, want 0", got)
+	}
+	if got := BusDistance([][2]int{{2, 5}}, []int{4}); got != 0 {
+		t.Errorf("bus on top row = %v, want 0", got)
+	}
+
+	// Single-row span [3,4): only row 3 crosses.
+	if got := BusDistance([][2]int{{3, 4}}, []int{3}); got != 0 {
+		t.Errorf("single-row crossing = %v, want 0", got)
+	}
+	if got := BusDistance([][2]int{{3, 4}}, []int{0, 7}); got != 3 {
+		t.Errorf("single-row distance = %v, want 3", got)
+	}
+
+	// Unsorted bus rows: the nearest must win regardless of order.
+	if got := BusDistance([][2]int{{10, 12}}, []int{0, 30, 13, 2}); got != 2 {
+		t.Errorf("unsorted buses = %v, want 2 (13 - 11)", got)
+	}
+	if got := BusDistance([][2]int{{10, 12}}, []int{30, 11, 0}); got != 0 {
+		t.Errorf("unsorted crossing = %v, want 0", got)
+	}
+}

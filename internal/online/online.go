@@ -24,6 +24,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/module"
+	"repro/internal/obs"
 )
 
 // TaskID identifies a task within one simulation.
@@ -115,6 +116,16 @@ func (h *departureHeap) Pop() interface{} {
 // with an error if the manager ever returns an invalid or overlapping
 // placement — manager bugs must not masquerade as good service.
 func Simulate(region *fabric.Region, mgr Manager, tasks []Task, fm fabric.FrameModel) (*Stats, error) {
+	return SimulateObserved(region, mgr, tasks, fm, nil)
+}
+
+// SimulateObserved is Simulate with instrumentation: when reg is
+// non-nil, each arrival's placement-decision latency is recorded into
+// per-outcome histograms (online_place_latency_seconds{outcome=...}),
+// and request/accept/reject/move totals plus the final service level and
+// mean utilization are published under online_* metric names. A nil reg
+// adds no overhead.
+func SimulateObserved(region *fabric.Region, mgr Manager, tasks []Task, fm fabric.FrameModel, reg *obs.Registry) (*Stats, error) {
 	if err := fm.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,7 +173,19 @@ func Simulate(region *fabric.Region, mgr Manager, tasks []Task, fm fabric.FrameM
 
 		stats.Offered++
 		fragSamples = append(fragSamples, metrics.Fragmentation(region, occ))
+		var t0 time.Time
+		if reg != nil {
+			reg.Counter("online_requests_total").Inc()
+			t0 = time.Now()
+		}
 		p, ok := mgr.TryPlace(task)
+		if reg != nil {
+			outcome := "rejected"
+			if ok {
+				outcome = "accepted"
+			}
+			reg.Histogram(`online_place_latency_seconds{outcome="` + outcome + `"}`).Observe(time.Since(t0).Seconds())
+		}
 		// Apply any relocations the manager performed for this arrival —
 		// they precede the newcomer's configuration and are priced like
 		// any other reconfiguration.
@@ -182,6 +205,7 @@ func Simulate(region *fabric.Region, mgr Manager, tasks []Task, fm fabric.FrameM
 				occupiedNow += len(pts)
 				resident[mv.ID] = pts
 				stats.Moves++
+				reg.Counter("online_moves_total").Inc()
 				shape := rec.Shape(mv.Shape)
 				frames := fm.FrameCount(region, grid.RectXYWH(mv.At.X, mv.At.Y, shape.W(), shape.H()))
 				stats.TotalReconfig += fm.ReconfigTime(frames)
@@ -224,6 +248,12 @@ func Simulate(region *fabric.Region, mgr Manager, tasks []Task, fm fabric.FrameM
 		stats.MeanUtil = utilIntegral / (float64(placeable) * float64(lastT))
 	}
 	stats.MeanFrag = metrics.Summarize(fragSamples).Mean
+	if reg != nil {
+		reg.Counter("online_accepted_total").Add(int64(stats.Accepted))
+		reg.Counter("online_rejected_total").Add(int64(stats.Rejected))
+		reg.Gauge("online_service_level").Set(stats.ServiceLevel)
+		reg.Gauge("online_mean_utilization").Set(stats.MeanUtil)
+	}
 	return stats, nil
 }
 

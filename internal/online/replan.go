@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/module"
+	"repro/internal/obs"
 )
 
 // MoveReporter is an optional Manager extension: a manager that
@@ -28,6 +29,10 @@ type ReplanFirstFit struct {
 	FirstFit
 	// Budget configures each replan solve (FirstSolutionOnly is forced).
 	Budget core.Options
+	// Metrics, when non-nil, counts replan attempts and successes
+	// (online_replans_total, online_replans_success_total) and times each
+	// replan solve (online_replan_seconds). Nil-safe.
+	Metrics *obs.Registry
 
 	pending []Move
 }
@@ -53,6 +58,8 @@ func (m *ReplanFirstFit) TryPlace(t Task) (Placement, bool) {
 // replan computes a joint layout of residents + newcomer and derives an
 // ordered relocation plan.
 func (m *ReplanFirstFit) replan(t Task) (Placement, bool) {
+	m.Metrics.Counter("online_replans_total").Inc()
+	defer m.Metrics.Timer("online_replan").Stop()
 	// Deterministic resident order.
 	ids := make([]TaskID, 0, len(m.resident))
 	for id := range m.resident {
@@ -124,5 +131,6 @@ func (m *ReplanFirstFit) replan(t Task) (Placement, bool) {
 	m.pending = moves
 	newcomer := target.Placements[len(target.Placements)-1]
 	m.commit(t.ID, t.Module, newcomer.ShapeIndex, newcomer.At.X, newcomer.At.Y)
+	m.Metrics.Counter("online_replans_success_total").Inc()
 	return Placement{Shape: newcomer.ShapeIndex, At: newcomer.At}, true
 }

@@ -102,6 +102,10 @@ func Plan(region *fabric.Region, phases []Phase, opts Options) (*Timeline, error
 		return nil, err
 	}
 
+	// Per-phase plan timings and entering/kept totals ride on the same
+	// registry as the solver metrics of the per-phase placements.
+	reg := opts.Placer.Metrics
+
 	tl := &Timeline{}
 	resident := map[string]placedModule{}
 	for pi, ph := range phases {
@@ -111,14 +115,19 @@ func Plan(region *fabric.Region, phases []Phase, opts Options) (*Timeline, error
 		var plan PhasePlan
 		plan.Phase = ph
 		var err error
+		phaseT := reg.Timer("rtsim_phase_plan")
 		if opts.Persistent {
 			plan, err = planPersistent(region, ph, resident, opts)
 		} else {
 			plan, err = planFresh(region, ph, resident, opts)
 		}
+		phaseT.Stop()
 		if err != nil {
 			return nil, fmt.Errorf("rtsim: phase %s: %w", ph.Name, err)
 		}
+		reg.Counter("rtsim_phases_total").Inc()
+		reg.Counter("rtsim_entering_total").Add(int64(len(plan.Entering)))
+		reg.Counter("rtsim_kept_total").Add(int64(len(plan.Kept)))
 		// Update residency and charge the configuration port for the
 		// entering modules.
 		resident = map[string]placedModule{}
@@ -134,6 +143,7 @@ func Plan(region *fabric.Region, phases []Phase, opts Options) (*Timeline, error
 		tl.TotalDwell += ph.Dwell
 		tl.Plans = append(tl.Plans, plan)
 	}
+	reg.Gauge("rtsim_switch_overhead").Set(tl.Overhead())
 	return tl, nil
 }
 
