@@ -2,8 +2,9 @@
 # steps as `make check`.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt-check check bench clean
+.PHONY: all build test race vet fmt-check check bench fuzz clean
 
 all: build
 
@@ -30,6 +31,12 @@ check: fmt-check vet build race
 # the baseline allocation profile.
 bench:
 	$(GO) test -run xxx -bench BenchmarkSearch -benchmem ./internal/csp
+
+# Native Go fuzzing beyond the committed corpus. Each target gets
+# FUZZTIME of mutation; new crashers land in testdata/fuzz/.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDomain -fuzztime $(FUZZTIME) ./internal/csp
+	$(GO) test -run xxx -fuzz FuzzPlacementValid -fuzztime $(FUZZTIME) ./internal/core
 
 clean:
 	$(GO) clean ./...

@@ -74,6 +74,33 @@ func BenchmarkTable1(b *testing.B) {
 	})
 }
 
+// BenchmarkTable1Parallel runs the Table-I alternatives arm (the
+// expensive one, 30 modules with four shapes each) at increasing
+// worker counts. Utilization must not move with the worker count —
+// only ns/op should fall. The workers=1 sub-benchmark still routes
+// through the parallel machinery, so the sequential baseline for
+// speedup claims is BenchmarkTable1/Alternatives.
+func BenchmarkTable1Parallel(b *testing.B) {
+	region := experiments.TableIRegion()
+	mods := workload.MustGenerate(workload.Config{}, rand.New(rand.NewSource(1)))
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := benchPlacerOptions()
+		opts.Workers = workers
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			placer := core.New(region, opts)
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				res, err := placer.Place(mods)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			reportPlacement(b, last)
+		})
+	}
+}
+
 // benchFigScenario runs a figure scenario (module set on its region)
 // with and without alternatives.
 func benchFigScenario(b *testing.B, region *fabric.Region, mods []*module.Module) {

@@ -28,6 +28,7 @@ func main() {
 		runs     = flag.Int("runs", 50, "number of seeded runs for table experiments")
 		seed     = flag.Int64("seed", 1, "base seed")
 		stall    = flag.Int64("stall", 2000, "optimiser convergence: nodes without improvement")
+		workers  = flag.Int("workers", 1, "parallel search goroutines per solve (>1 enables parallel branch-and-bound)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-solve safety cap")
 		modules  = flag.Int("modules", 0, "modules per run (0 = paper default of 30)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
@@ -46,6 +47,7 @@ func main() {
 		Seed:       *seed,
 		StallNodes: *stall,
 		Timeout:    *timeout,
+		Workers:    *workers,
 		Workload:   workload.Config{NumModules: *modules},
 		BenchPath:  *benchOut,
 	}

@@ -34,6 +34,7 @@ type cliOpts struct {
 	clbMax     int
 	bramMax    int
 	manager    string
+	workers    int
 	obs        obs.Config
 }
 
@@ -49,6 +50,7 @@ func main() {
 	flag.IntVar(&o.clbMax, "clbmax", 60, "maximum CLB demand per task")
 	flag.IntVar(&o.bramMax, "brammax", 3, "maximum BRAM demand per task")
 	flag.StringVar(&o.manager, "manager", "", "run only this manager (default: all)")
+	flag.IntVar(&o.workers, "workers", 1, "parallel search goroutines for CP replanning (>1 enables parallel branch-and-bound)")
 	flag.StringVar(&o.obs.TracePath, "trace", "", "write the solver JSONL event trace to this file (- for stdout)")
 	flag.StringVar(&o.obs.MetricsPath, "metrics", "", "dump metrics at exit: - for a summary table, a path for Prometheus text format")
 	flag.StringVar(&o.obs.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -119,7 +121,7 @@ func run(o cliOpts) (err error) {
 	if o.manager == "first-fit+cp-replan" {
 		managers = append(managers, &online.ReplanFirstFit{
 			FirstFit: online.FirstFit{UseAlternatives: true},
-			Budget:   core.Options{Recorder: session.Recorder, Metrics: session.Registry},
+			Budget:   core.Options{Workers: o.workers, Recorder: session.Recorder, Metrics: session.Registry},
 			Metrics:  session.Registry,
 		})
 	}

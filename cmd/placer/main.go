@@ -35,6 +35,7 @@ type cliOpts struct {
 	modulesPath string
 	timeout     time.Duration
 	stall       int64
+	workers     int
 	first       bool
 	strategy    string
 	svgPath     string
@@ -50,6 +51,7 @@ func main() {
 	flag.StringVar(&o.modulesPath, "modules", "", "module specification file (required)")
 	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "optimisation budget")
 	flag.Int64Var(&o.stall, "stall", 2000, "stop after this many nodes without improvement")
+	flag.IntVar(&o.workers, "workers", 1, "parallel search goroutines (>1 enables parallel branch-and-bound)")
 	flag.BoolVar(&o.first, "first", false, "stop at the first feasible placement")
 	flag.StringVar(&o.strategy, "strategy", "first-fail", "branching: first-fail, largest-first, input-order")
 	flag.StringVar(&o.svgPath, "svg", "", "write an SVG floorplan to this file")
@@ -119,6 +121,7 @@ func run(o cliOpts) (err error) {
 	res, err := flow.Place(core.Options{
 		Timeout:           o.timeout,
 		StallNodes:        o.stall,
+		Workers:           o.workers,
 		FirstSolutionOnly: o.first,
 		Strategy:          strat,
 		Recorder:          session.Recorder,

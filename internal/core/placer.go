@@ -90,6 +90,20 @@ type Options struct {
 	// must cross at least one bus row so the module can attach to the
 	// bus. Anchors violating this are removed up front.
 	BusRows []int
+	// Workers, when greater than 1, solves with parallel
+	// branch-and-bound on that many goroutines (csp.MinimizeParallel):
+	// the search tree is split into subproblems explored on cloned
+	// stores against a shared incumbent. 0 or 1 keeps the sequential
+	// solver. Exhaustive parallel runs return the same height and the
+	// same placement as the sequential solver (ties are broken by
+	// subtree order, not arrival order); stalled or timed-out runs may
+	// differ, as with any anytime stop.
+	Workers int
+	// Bound, when non-nil, couples this solve to other concurrent
+	// solves of the same objective (portfolio arms): the search prunes
+	// against the best height published by any participant and
+	// publishes its own improvements. See csp.Options.SharedBound.
+	Bound *csp.SharedBound
 	// StrongPropagation adds geost compulsory-part pruning to the
 	// pairwise non-overlap: objects whose remaining placements share a
 	// guaranteed footprint prune their neighbours before being
@@ -164,18 +178,24 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 		OrderValues: p.valueOrderer(objects),
 		StallNodes:  p.opts.StallNodes,
 		Recorder:    p.opts.Recorder,
+		Workers:     p.opts.Workers,
+		SharedBound: p.opts.Bound,
 	}
 	if p.opts.Timeout > 0 {
 		opts.Deadline = start.Add(p.opts.Timeout)
 	}
+	parallel := p.opts.Workers > 1
 
+	// snapshot reads the solution through variable ids, not through the
+	// objects' own pointers: under parallel search s is a clone of st,
+	// holding counterpart variables at the same ids.
 	res := &Result{}
 	snapshot := func(s *csp.Store, best int) {
 		res.Found = true
 		res.Height = best
 		res.Placements = res.Placements[:0]
 		for i, o := range objects {
-			sid, x, y := o.Placement()
+			sid, x, y := o.Decode(s.Vars()[o.Place.ID()].Value())
 			res.Placements = append(res.Placements, Placement{
 				Module:     mods[i],
 				ShapeIndex: sid,
@@ -189,11 +209,21 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 	}
 	searchT := reg.Timer("phase_search")
 	if p.opts.FirstSolutionOnly {
-		sres, err := csp.Solve(st, k.PlaceVars(), opts, func(s *csp.Store) bool {
-			best := height.Min() // all tops assigned: max top = height min
+		onSolution := func(s *csp.Store) bool {
+			best := s.Vars()[height.ID()].Min() // all tops assigned: max top = height min
 			snapshot(s, best)
 			return false
-		})
+		}
+		var sres csp.SearchResult
+		var err error
+		if parallel {
+			// Which complete placement is found first depends on worker
+			// scheduling; first-solution mode trades determinism for
+			// latency here.
+			sres, err = csp.SolveParallel(st, k.PlaceVars(), opts, onSolution)
+		} else {
+			sres, err = csp.Solve(st, k.PlaceVars(), opts, onSolution)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +233,13 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 		res.Reason = sres.Reason
 		res.Optimal = false
 	} else {
-		mres, err := csp.Minimize(st, k.PlaceVars(), height, opts, snapshot)
+		var mres csp.MinimizeResult
+		var err error
+		if parallel {
+			mres, err = csp.MinimizeParallel(st, k.PlaceVars(), height, opts, snapshot)
+		} else {
+			mres, err = csp.Minimize(st, k.PlaceVars(), height, opts, snapshot)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -237,11 +273,14 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 // the placement variables before touching auxiliary search variables
 // (the height objective): branching on the objective first would turn
 // the dive into exact-height packing and thrash.
+//
+// The heuristic is positional, not pointer-bound: the first
+// len(objects) search variables are the placement variables in module
+// order (k.PlaceVars ordering), on the original store and on every
+// worker clone alike. Capturing the original *Var pointers instead
+// would make parallel workers branch on the wrong (frozen) store.
 func (p *Placer) chooser(mods []*module.Module, objects []*geost.Object) csp.VarChooser {
-	placeVars := make([]*csp.Var, len(objects))
-	for i, o := range objects {
-		placeVars[i] = o.Place
-	}
+	n := len(objects)
 	var base csp.VarChooser
 	switch p.opts.Strategy {
 	case StrategyLargestFirst:
@@ -252,18 +291,21 @@ func (p *Placer) chooser(mods []*module.Module, objects []*geost.Object) csp.Var
 		sort.SliceStable(order, func(a, b int) bool {
 			return mods[order[a]].MinSize() > mods[order[b]].MinSize()
 		})
-		sorted := make([]*csp.Var, len(order))
-		for i, idx := range order {
-			sorted[i] = objects[idx].Place
+		base = func(place []*csp.Var) *csp.Var {
+			for _, idx := range order {
+				if !place[idx].Assigned() {
+					return place[idx]
+				}
+			}
+			return nil
 		}
-		base = func([]*csp.Var) *csp.Var { return csp.FirstUnassigned(sorted) }
 	case StrategyInputOrder:
 		base = csp.FirstUnassigned
 	default:
 		base = csp.SmallestDomain
 	}
 	return func(all []*csp.Var) *csp.Var {
-		if v := base(placeVars); v != nil {
+		if v := base(all[:n]); v != nil {
 			return v
 		}
 		return csp.FirstUnassigned(all)
@@ -296,7 +338,9 @@ func (p *Placer) valueOrderer(objects []*geost.Object) csp.ValueOrderer {
 	if p.opts.ValueOrder == OrderLexicographic {
 		return csp.AscendingValues
 	}
-	perm := make(map[*csp.Var][]int, len(objects))
+	// Keyed by variable id so the permutation applies to a worker
+	// clone's counterpart variable as well as the original.
+	perm := make(map[int][]int, len(objects))
 	for _, o := range objects {
 		vals := o.Place.Domain().Values()
 		obj := o
@@ -311,10 +355,10 @@ func (p *Placer) valueOrderer(objects []*geost.Object) csp.ValueOrderer {
 			}
 			return sa < sb
 		})
-		perm[o.Place] = vals
+		perm[o.Place.ID()] = vals
 	}
 	return func(v *csp.Var) []int {
-		ordered, ok := perm[v]
+		ordered, ok := perm[v.ID()]
 		if !ok {
 			return csp.AscendingValues(v)
 		}

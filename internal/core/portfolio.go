@@ -4,28 +4,49 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/csp"
 	"repro/internal/fabric"
 	"repro/internal/module"
 )
 
 // Portfolio runs several placer configurations concurrently on the same
 // instance and returns the best result: the lowest occupied height, ties
-// broken by higher utilization and then by configuration order (so the
-// outcome is deterministic for deterministic configurations — use
-// StallNodes rather than Timeout when reproducibility matters).
+// broken by higher utilization and then by configuration order.
 //
 // Portfolio search exploits the complementary strengths of branching
 // heuristics: first-fail converges fast on tightly constrained
-// instances, largest-first on area-dominated ones. Each worker gets its
-// own constraint store, so workers share nothing but the inputs.
+// instances, largest-first on area-dominated ones. Each arm gets its
+// own constraint store; the arms are coupled through one shared
+// incumbent bound (csp.SharedBound), so a height proven by any arm
+// immediately prunes the others. The bound is non-strict — an arm may
+// still match the best published height and report its own placement —
+// so the winner selection below sees every arm's best. Arms configured
+// with Options.Workers > 1 additionally parallelise within the arm;
+// their workers prune against the same global bound.
+//
+// Reproducibility: with exhaustive arms (no StallNodes, no Timeout)
+// the returned Height is deterministic — it is the instance's true
+// optimum. The returned Placement is one optimal placement but may
+// vary between runs: the moment another arm's bound lands shifts
+// domain sizes mid-search, which steers dynamic heuristics like
+// first-fail down different (equally optimal) branches. Callers
+// needing bit-identical placements should run a single Placer — the
+// sequential and parallel single-placer paths are both deterministic.
+//
+// A caller-supplied cfg.Bound is preserved (coupling this portfolio to
+// an even wider search); otherwise all arms get one fresh shared bound.
 func Portfolio(region *fabric.Region, mods []*module.Module, configs []Options) (*Result, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("core: empty portfolio")
 	}
+	bound := csp.NewSharedBound()
 	results := make([]*Result, len(configs))
 	errs := make([]error, len(configs))
 	var wg sync.WaitGroup
 	for i, cfg := range configs {
+		if cfg.Bound == nil {
+			cfg.Bound = bound
+		}
 		wg.Add(1)
 		go func(i int, cfg Options) {
 			defer wg.Done()

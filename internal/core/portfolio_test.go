@@ -29,12 +29,20 @@ func TestPortfolioMatchesSingleOptimum(t *testing.T) {
 	}
 }
 
+// TestPortfolioDeterministic checks the documented reproducibility
+// guarantee: with exhaustive arms (no stall, no timeout) the portfolio
+// returns the deterministic optimal height on every run, and every run
+// returns a valid placement achieving it. Placement identity across
+// runs is explicitly NOT guaranteed — the shared incumbent bound lands
+// at timing-dependent points of each arm's search and steers dynamic
+// heuristics down different, equally optimal branches (see the
+// Portfolio doc comment).
 func TestPortfolioDeterministic(t *testing.T) {
 	r := fabric.Homogeneous(6, 12).FullRegion()
 	mods := []*module.Module{
 		rectModule("a", 3, 2), rectModule("b", 2, 4), rectModule("c", 4, 2),
 	}
-	cfgs := DefaultPortfolio(Options{StallNodes: 500})
+	cfgs := DefaultPortfolio(Options{})
 	a, err := Portfolio(r, mods, cfgs)
 	if err != nil {
 		t.Fatal(err)
@@ -43,14 +51,14 @@ func TestPortfolioDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Height != b.Height || len(a.Placements) != len(b.Placements) {
-		t.Fatal("portfolio not deterministic")
+	if !a.Found || !b.Found || a.Height != b.Height {
+		t.Fatalf("portfolio heights differ across runs: %d vs %d", a.Height, b.Height)
 	}
-	for i := range a.Placements {
-		if a.Placements[i].At != b.Placements[i].At ||
-			a.Placements[i].ShapeIndex != b.Placements[i].ShapeIndex {
-			t.Fatal("portfolio picked different placements across runs")
-		}
+	if err := a.Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(r); err != nil {
+		t.Fatal(err)
 	}
 }
 

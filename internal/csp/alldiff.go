@@ -31,6 +31,11 @@ func AllDifferentBounds(st *Store, vars ...*Var) {
 // Name implements Named.
 func (p *allDifferentBounds) Name() string { return "csp.all-different-bounds" }
 
+// CloneFor implements Clonable.
+func (p *allDifferentBounds) CloneFor(ctx *CloneCtx) Propagator {
+	return &allDifferentBounds{vars: ctx.Vars(p.vars)}
+}
+
 func (p *allDifferentBounds) Propagate(st *Store) error {
 	if err := p.tightenMins(st); err != nil {
 		return err

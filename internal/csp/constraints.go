@@ -19,6 +19,11 @@ func NotEqualOffset(st *Store, x, y *Var, c int) {
 // Name implements Named.
 func (p *notEqualOffset) Name() string { return "csp.not-equal" }
 
+// CloneFor implements Clonable.
+func (p *notEqualOffset) CloneFor(ctx *CloneCtx) Propagator {
+	return &notEqualOffset{ctx.Var(p.x), ctx.Var(p.y), p.c}
+}
+
 func (p *notEqualOffset) Propagate(st *Store) error {
 	if v, ok := p.y.dom.Singleton(); ok {
 		if err := st.Remove(p.x, v+p.c); err != nil {
@@ -50,6 +55,11 @@ func LessEqOffset(st *Store, x, y *Var, c int) {
 // Name implements Named.
 func (p *lessEqOffset) Name() string { return "csp.less-eq" }
 
+// CloneFor implements Clonable.
+func (p *lessEqOffset) CloneFor(ctx *CloneCtx) Propagator {
+	return &lessEqOffset{ctx.Var(p.x), ctx.Var(p.y), p.c}
+}
+
 func (p *lessEqOffset) Propagate(st *Store) error {
 	if err := st.SetMax(p.x, p.y.Max()-p.c); err != nil {
 		return err
@@ -74,6 +84,11 @@ func EqualOffset(st *Store, x, y *Var, c int) {
 // Name implements Named.
 func (p *equalOffset) Name() string { return "csp.equal" }
 
+// CloneFor implements Clonable.
+func (p *equalOffset) CloneFor(ctx *CloneCtx) Propagator {
+	return &equalOffset{ctx.Var(p.x), ctx.Var(p.y), p.c}
+}
+
 func (p *equalOffset) Propagate(st *Store) error {
 	if err := st.FilterDomain(p.x, func(v int) bool { return p.y.dom.Contains(v - p.c) }); err != nil {
 		return err
@@ -95,6 +110,11 @@ func AllDifferent(st *Store, vars ...*Var) {
 
 // Name implements Named.
 func (p *allDifferent) Name() string { return "csp.all-different" }
+
+// CloneFor implements Clonable.
+func (p *allDifferent) CloneFor(ctx *CloneCtx) Propagator {
+	return &allDifferent{vars: ctx.Vars(p.vars)}
+}
 
 func (p *allDifferent) Propagate(st *Store) error {
 	for _, v := range p.vars {
@@ -129,6 +149,11 @@ func Sum(st *Store, total *Var, vars ...*Var) {
 
 // Name implements Named.
 func (p *sum) Name() string { return "csp.sum" }
+
+// CloneFor implements Clonable.
+func (p *sum) CloneFor(ctx *CloneCtx) Propagator {
+	return &sum{vars: ctx.Vars(p.vars), total: ctx.Var(p.total)}
+}
 
 func (p *sum) Propagate(st *Store) error {
 	loSum, hiSum := 0, 0
@@ -174,6 +199,11 @@ func MaxOf(st *Store, m *Var, vars ...*Var) {
 
 // Name implements Named.
 func (p *maxOf) Name() string { return "csp.max-of" }
+
+// CloneFor implements Clonable.
+func (p *maxOf) CloneFor(ctx *CloneCtx) Propagator {
+	return &maxOf{vars: ctx.Vars(p.vars), m: ctx.Var(p.m)}
+}
 
 func (p *maxOf) Propagate(st *Store) error {
 	// m's bounds from the vars.
@@ -241,6 +271,12 @@ func Element(st *Store, index *Var, table []int, result *Var) {
 // Name implements Named.
 func (p *element) Name() string { return "csp.element" }
 
+// CloneFor implements Clonable; the value table is immutable and
+// shared.
+func (p *element) CloneFor(ctx *CloneCtx) Propagator {
+	return &element{index: ctx.Var(p.index), table: p.table, result: ctx.Var(p.result)}
+}
+
 func (p *element) Propagate(st *Store) error {
 	if err := st.FilterDomain(p.index, func(i int) bool {
 		return i >= 0 && i < len(p.table) && p.result.dom.Contains(p.table[i])
@@ -292,6 +328,15 @@ func BinaryTable(st *Store, x, y *Var, pairs [][2]int) {
 // Name implements Named.
 func (p *binaryTable) Name() string { return "csp.binary-table" }
 
+// CloneFor implements Clonable; the support tables are immutable and
+// shared.
+func (p *binaryTable) CloneFor(ctx *CloneCtx) Propagator {
+	return &binaryTable{
+		x: ctx.Var(p.x), y: ctx.Var(p.y),
+		allowed: p.allowed, xs: p.xs, ys: p.ys,
+	}
+}
+
 func (p *binaryTable) Propagate(st *Store) error {
 	if err := st.FilterDomain(p.x, func(xv int) bool {
 		for _, yv := range p.xs[xv] {
@@ -314,7 +359,9 @@ func (p *binaryTable) Propagate(st *Store) error {
 }
 
 // FuncProp wraps a plain function as a Propagator, for ad-hoc
-// constraints.
+// constraints. FuncProp does not implement Clonable — a closure cannot
+// be re-targeted mechanically — so stores holding one cannot be cloned
+// for parallel search; post ad-hoc constraints per worker instead.
 type FuncProp func(st *Store) error
 
 // Propagate implements Propagator.

@@ -24,6 +24,11 @@ func ChannelEq(st *Store, b, x *Var, v int) {
 // Name implements Named.
 func (p *channelEq) Name() string { return "csp.channel-eq" }
 
+// CloneFor implements Clonable.
+func (p *channelEq) CloneFor(ctx *CloneCtx) Propagator {
+	return &channelEq{b: ctx.Var(p.b), x: ctx.Var(p.x), v: p.v}
+}
+
 func (p *channelEq) Propagate(st *Store) error {
 	// x decided relative to v ⇒ b decided.
 	if !p.x.Domain().Contains(p.v) {

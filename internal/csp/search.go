@@ -1,6 +1,7 @@
 package csp
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -67,22 +68,71 @@ type Options struct {
 	// this many nodes without improving the incumbent — a deterministic
 	// convergence criterion for anytime optimisation. Solve ignores it.
 	StallNodes int64
+	// MaxNodes, when positive, aborts search after exploring this many
+	// branching nodes (shared globally across workers in the parallel
+	// entry points) with Reason StopNodeLimit — a deterministic budget
+	// that, unlike Deadline, does not depend on machine speed.
+	MaxNodes int64
 	// Recorder, when non-nil, receives the structured search event
 	// stream (branch, backtrack, solution, incumbent) and is installed
 	// on the store for the duration of the search so propagation-level
 	// events (propagate, prune) are captured too. Nil keeps the search
 	// hot path free of any recording overhead.
 	Recorder obs.Recorder
+	// Workers sets the number of search goroutines used by
+	// SolveParallel and MinimizeParallel (0 = runtime.GOMAXPROCS).
+	// The sequential entry points ignore it.
+	Workers int
+	// SplitDepth is the number of leading branching levels expanded
+	// into independent subproblems by the parallel entry points
+	// (0 = 1). Deeper splits yield more, finer-grained subproblems.
+	SplitDepth int
+	// SharedBound, when non-nil, couples this run to other concurrent
+	// minimisation runs over the same objective: the search prunes
+	// against the best objective published by any participant, and
+	// publishes its own improvements. Solutions matching the shared
+	// bound exactly are still accepted (the cut is non-strict), so
+	// every participant reports its own best solution. With an
+	// external bound, Optimal means optimal relative to that bound.
+	SharedBound *SharedBound
 }
 
-func (o Options) withDefaults() Options {
+// OptionError reports an invalid Options field value.
+type OptionError struct {
+	// Field is the Options field name.
+	Field string
+	// Value is the rejected value.
+	Value int64
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("csp: invalid Options.%s: %d", e.Field, e.Value)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	switch {
+	case o.MaxSolutions < 0:
+		return o, &OptionError{Field: "MaxSolutions", Value: int64(o.MaxSolutions)}
+	case o.StallNodes < 0:
+		return o, &OptionError{Field: "StallNodes", Value: o.StallNodes}
+	case o.MaxNodes < 0:
+		return o, &OptionError{Field: "MaxNodes", Value: o.MaxNodes}
+	case o.Workers < 0:
+		return o, &OptionError{Field: "Workers", Value: int64(o.Workers)}
+	case o.SplitDepth < 0:
+		return o, &OptionError{Field: "SplitDepth", Value: int64(o.SplitDepth)}
+	}
 	if o.ChooseVar == nil {
 		o.ChooseVar = SmallestDomain
 	}
 	if o.OrderValues == nil {
 		o.OrderValues = AscendingValues
 	}
-	return o
+	if o.SplitDepth == 0 {
+		o.SplitDepth = 1
+	}
+	return o, nil
 }
 
 // StopReason says why a search run ended. The zero value (StopExhausted)
@@ -103,6 +153,8 @@ const (
 	// StopCut: enumeration was cut short by the solution callback or
 	// Options.MaxSolutions.
 	StopCut
+	// StopNodeLimit: Options.MaxNodes was reached.
+	StopNodeLimit
 )
 
 // String names the reason.
@@ -116,6 +168,8 @@ func (r StopReason) String() string {
 		return "stalled"
 	case StopCut:
 		return "cut"
+	case StopNodeLimit:
+		return "node-limit"
 	}
 	return "unknown"
 }
@@ -143,8 +197,11 @@ type SearchResult struct {
 // onSolution returns false, enumeration stops early. The store is left
 // at its entry state.
 func Solve(st *Store, vars []*Var, opts Options, onSolution func(*Store) bool) (SearchResult, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
 	var res SearchResult
+	if err != nil {
+		return res, err
+	}
 	propBase := st.nPropag
 	if opts.Recorder != nil {
 		prev := st.Recorder()
@@ -177,6 +234,10 @@ func deadlineHit(opts *Options) bool {
 func searchRec(st *Store, vars []*Var, opts *Options, res *SearchResult, depth int, onSolution func(*Store) bool) bool {
 	if deadlineHit(opts) {
 		res.Reason = StopTimeout
+		return true
+	}
+	if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+		res.Reason = StopNodeLimit
 		return true
 	}
 	v := opts.ChooseVar(vars)
@@ -276,8 +337,11 @@ type minimizeState struct {
 // nil) is called with the store at each improving solution so the caller
 // can snapshot the assignment. The store is restored on return.
 func Minimize(st *Store, vars []*Var, obj *Var, opts Options, onImproved func(*Store, int)) (MinimizeResult, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
 	var res MinimizeResult
+	if err != nil {
+		return res, err
+	}
 	propBase := st.nPropag
 	if opts.Recorder != nil {
 		prev := st.Recorder()
@@ -292,7 +356,11 @@ func Minimize(st *Store, vars []*Var, obj *Var, opts Options, onImproved func(*S
 		onImproved: onImproved,
 	}
 	boundProp := FuncProp(func(s *Store) error {
-		return s.SetMax(obj, ms.bound-1)
+		hi := ms.bound - 1
+		if b := opts.SharedBound.Get(); b < hi {
+			hi = b // non-strict: matching another run's best is allowed
+		}
+		return s.SetMax(obj, hi)
 	})
 	ms.boundHandle = st.Post(WithName(boundProp, "bnb.bound"), obj)
 
@@ -333,6 +401,10 @@ func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeR
 		res.Reason = StopTimeout
 		return true
 	}
+	if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+		res.Reason = StopNodeLimit
+		return true
+	}
 	if opts.StallNodes > 0 && res.Found && res.Nodes-ms.lastImproved > opts.StallNodes {
 		res.Stalled = true
 		res.Reason = StopStalled
@@ -346,6 +418,7 @@ func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeR
 			res.Best = val
 			ms.bound = val
 			ms.lastImproved = res.Nodes
+			opts.SharedBound.Publish(val)
 			res.BestObjectiveTrace = append(res.BestObjectiveTrace, ObjectivePoint{
 				Objective: val,
 				Nodes:     res.Nodes,

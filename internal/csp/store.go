@@ -31,6 +31,12 @@ type Var struct {
 // Name returns the variable name.
 func (v *Var) Name() string { return v.name }
 
+// ID returns the variable's index in its store's creation order. Store
+// cloning preserves ids, so st.Vars()[v.ID()] addresses the counterpart
+// of v in any clone of v's store — the lookup solution callbacks use to
+// read assignments when search runs on cloned stores.
+func (v *Var) ID() int { return v.id }
+
 // Domain returns the current domain for read-only inspection.
 func (v *Var) Domain() *Domain { return v.dom }
 
@@ -234,6 +240,21 @@ type namedProp struct {
 
 // Name implements Named.
 func (p namedProp) Name() string { return p.name }
+
+// CloneFor implements Clonable by cloning the wrapped propagator and
+// re-attaching the name; it returns nil (not clonable) when the wrapped
+// propagator is not Clonable.
+func (p namedProp) CloneFor(ctx *CloneCtx) Propagator {
+	c, ok := p.Propagator.(Clonable)
+	if !ok {
+		return nil
+	}
+	inner := c.CloneFor(ctx)
+	if inner == nil {
+		return nil
+	}
+	return namedProp{inner, p.name}
+}
 
 // WithName gives p an explicit name for metrics and trace attribution,
 // overriding the Go type-name fallback.

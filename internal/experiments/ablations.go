@@ -74,7 +74,7 @@ func runArm(cfg RunConfig, label string, region *fabric.Region,
 }
 
 func (c RunConfig) placerOptions() core.Options {
-	return core.Options{Timeout: c.Timeout, StallNodes: c.StallNodes}
+	return core.Options{Timeout: c.Timeout, StallNodes: c.StallNodes, Workers: c.Workers}
 }
 
 // AlternativeCountSweep measures utilization and solve time as the

@@ -53,6 +53,9 @@ type RunConfig struct {
 	StallNodes int64
 	// Timeout is a per-solve safety cap (default 30s).
 	Timeout time.Duration
+	// Workers is the number of parallel search goroutines per solve
+	// (0 or 1 = sequential branch-and-bound).
+	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 	// Recorder, when non-nil, receives the solver event stream of every
@@ -157,6 +160,7 @@ func RunTableI(cfg RunConfig) (*TableIResult, error) {
 	placer := core.New(cfg.Region, core.Options{
 		Timeout:    cfg.Timeout,
 		StallNodes: cfg.StallNodes,
+		Workers:    cfg.Workers,
 		Recorder:   cfg.Recorder,
 		Metrics:    cfg.Metrics,
 	})

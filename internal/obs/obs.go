@@ -73,6 +73,7 @@ type Event struct {
 	Removed   int    // KindPrune: values removed from Var's domain
 	Objective int    // KindIncumbent/KindSolution: objective value
 	Nodes     int64  // KindIncumbent: nodes explored when found
+	Worker    int    // parallel search: 1-based worker id (0 = sequential)
 }
 
 // Recorder receives solver events. Implementations must be safe for use

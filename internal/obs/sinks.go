@@ -36,6 +36,7 @@ type jsonEvent struct {
 	Removed   int     `json:"removed,omitempty"`
 	Objective int     `json:"objective,omitempty"`
 	Nodes     int64   `json:"nodes,omitempty"`
+	Worker    int     `json:"worker,omitempty"`
 }
 
 // NewJSONL returns a JSONL sink over w.
@@ -57,6 +58,7 @@ func (j *JSONL) Record(e Event) {
 		Removed:   e.Removed,
 		Objective: e.Objective,
 		Nodes:     e.Nodes,
+		Worker:    e.Worker,
 	}
 	j.mu.Lock()
 	// Encoding errors surface at Flush; a trace must never abort a solve.
