@@ -2,9 +2,17 @@
 # steps as `make check`.
 
 GO ?= go
+
+# Pinned versions for the external linters installed by `make tools`.
+# solverlint itself is built from this repository and needs nothing
+# beyond the Go toolchain; staticcheck and govulncheck run only where
+# the pinned binaries are installed (CI, or after `make tools` on a
+# networked machine) and are skipped gracefully elsewhere.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt-check check bench fuzz clean
+.PHONY: all build test race vet fmt-check lint solverlint tools check bench fuzz clean
 
 all: build
 
@@ -14,8 +22,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Race job, mirroring CI: the full suite once, then the parallel-search
+# determinism suites repeated -count=3 (scheduling-order bugs rarely
+# show on a single run).
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=3 -run 'Parallel|Clone|SharedBound|Portfolio' ./internal/csp ./internal/geost ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +37,32 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt-check vet build race
+# Project-specific analyzers (see DESIGN.md, "Static analysis"). Exit 1
+# on findings; suppressions need an inline
+# `//solverlint:allow <analyzer> <reason>` comment.
+solverlint:
+	$(GO) run ./cmd/solverlint ./...
+
+# Full lint: solverlint always; staticcheck and govulncheck when their
+# pinned binaries are on PATH (install with `make tools`).
+lint: solverlint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) not installed; skipping (make tools)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "govulncheck $(GOVULNCHECK_VERSION) not installed; skipping (make tools)"; \
+	fi
+
+# Install the pinned external linters (requires network access).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+check: fmt-check vet lint build race
 
 # The observability acceptance benchmark: recording disabled must show
 # the baseline allocation profile.

@@ -1,0 +1,160 @@
+package solverlint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the fixture harness — the analysistest equivalent for
+// the self-contained framework. Fixture packages live under
+// testdata/src/<name>/ (testdata is invisible to the go tool, so
+// fixtures do not build as part of the repo). RunFixture copies one
+// fixture into a throwaway module, loads it with the real loader, runs
+// one analyzer, and compares the diagnostics against `// want`
+// comments in the fixture source:
+//
+//	x := bad() // want `regexp matching the message`
+//
+// Each backquoted or double-quoted regexp must match exactly one
+// diagnostic reported on that line, and every diagnostic must be
+// wanted. Fixtures may only import the standard library (the temp
+// module resolves nothing else).
+
+// wantRE extracts the quoted regexps of a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// RunFixture runs a over the fixture package at testdata/src/<fixture>
+// and checks its diagnostics against the fixture's want comments.
+func RunFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := t.TempDir()
+	if err := copyTree(src, filepath.Join(mod, fixture)); err != nil {
+		t.Fatalf("copying fixture: %v", err)
+	}
+	gomod := "module fixture\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(mod, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s: %v", a.Name, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// lineKey addresses one fixture source line.
+type lineKey struct {
+	file string // base name; fixtures never repeat base names
+	line int
+}
+
+// checkWants matches diagnostics against want comments line by line.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]string{}
+	for _, f := range pkg.Files {
+		collectWants(t, pkg, f, wants)
+	}
+	got := map[lineKey][]string{}
+	for _, d := range diags {
+		k := lineKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	for k, patterns := range wants {
+		msgs := got[k]
+		for _, pat := range patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Errorf("%s:%d: bad want regexp %q: %v", k.file, k.line, pat, err)
+				continue
+			}
+			idx := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", k.file, k.line, pat, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		if len(msgs) > 0 {
+			t.Errorf("%s:%d: unexpected diagnostics beyond wants: %q", k.file, k.line, msgs)
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		t.Errorf("%s:%d: unexpected diagnostics: %q", k.file, k.line, msgs)
+	}
+}
+
+// collectWants records the want patterns of one parsed file.
+func collectWants(t *testing.T, pkg *Package, f *ast.File, wants map[lineKey][]string) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			k := lineKey{file: filepath.Base(pos.Filename), line: pos.Line}
+			for _, q := range wantRE.FindAllString(c.Text[idx+len("// want "):], -1) {
+				pat, err := unquoteWant(q)
+				if err != nil {
+					t.Errorf("%s:%d: bad want literal %s: %v", k.file, k.line, q, err)
+					continue
+				}
+				wants[k] = append(wants[k], pat)
+			}
+		}
+	}
+}
+
+func unquoteWant(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}
+
+// copyTree copies the regular files of the directory tree rooted at
+// src into dst.
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}

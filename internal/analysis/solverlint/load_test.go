@@ -1,0 +1,77 @@
+package solverlint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadTestPkgs writes the given files into a throwaway module rooted
+// at a temp dir and loads ./... from it.
+func loadTestPkgs(t *testing.T, files map[string]string) []*Package {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module throwaway\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return pkgs
+}
+
+// TestLoadTypeChecks exercises the offline loader end to end: std
+// imports resolve through gc export data and the AST carries full type
+// information.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs := loadTestPkgs(t, map[string]string{
+		"a/a.go": `
+package a
+
+import "strings"
+
+// Upper shouts.
+func Upper(s string) string { return strings.ToUpper(s) }
+`,
+		"b/b.go": `
+package b
+
+// N is a counter.
+var N int
+`,
+	})
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without type info", p.Path)
+		}
+	}
+}
+
+// TestLoadReportsTypeErrors checks broken fixture code fails loudly
+// instead of yielding half-checked packages.
+func TestLoadReportsTypeErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module broken\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package broken\n\nvar x undefinedType\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Fatal("Load succeeded on code that does not type-check")
+	}
+}

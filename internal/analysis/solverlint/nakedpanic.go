@@ -1,0 +1,59 @@
+package solverlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NakedPanic forbids undocumented panics in library packages. The
+// solver uses panic deliberately for invariant violations that always
+// indicate a caller bug (Value() on an unassigned variable, Pop
+// without Push, empty-domain constructors) — but only when the
+// function's doc comment says so, turning the panic into API contract
+// rather than landmine. A panic inside a function whose documentation
+// does not mention it is either a missing doc sentence or an error
+// path that should return an error; both are findings.
+var NakedPanic = &Analyzer{
+	Name: "nakedpanic",
+	Doc:  "panic in library packages only inside functions whose doc comment documents the panic",
+	Run:  runNakedPanic,
+}
+
+func runNakedPanic(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if docMentionsPanic(fd.Doc) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"undocumented panic in %s: document the invariant in the doc comment (mention \"panic\"), or return an error",
+					fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// docMentionsPanic reports whether the doc comment contains the word
+// "panic" in any form ("panics if", "Panics when", ...).
+func docMentionsPanic(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(strings.ToLower(doc.Text()), "panic")
+}

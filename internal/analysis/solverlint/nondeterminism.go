@@ -1,0 +1,86 @@
+package solverlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism guards the paper-reproduction determinism contract:
+// exhaustive runs (Table I, 53% → 65% utilization) must be
+// bit-identical across worker counts and across machines. Wall-clock
+// reads, pseudo-randomness, and Go's randomized map iteration order
+// inside search or propagation code all break that silently. The
+// documented deadline/anytime sites (Options.Deadline polling, anytime
+// trace timestamps, opt-in propagation timing) carry
+// //solverlint:allow nondeterminism comments explaining why each is
+// outside the deterministic core.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "no time.Now/time.Since/time.Until, math/rand, or map iteration in solver packages outside allowlisted sites",
+	Run:  runNondeterminism,
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock. time.Sleep is omitted: sleeping does not branch the search.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNondeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkWallClock(pass, n)
+			case *ast.Ident:
+				checkRandUse(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWallClock flags qualified references to time.Now/Since/Until.
+func checkWallClock(pass *Pass, sel *ast.SelectorExpr) {
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" || !wallClockFuncs[f.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"time.%s reads the wall clock: search behaviour becomes machine- and load-dependent, breaking parallel-vs-sequential equivalence (use node budgets, or allowlist a documented anytime site)",
+		f.Name())
+}
+
+// checkRandUse flags any use of math/rand or math/rand/v2.
+func checkRandUse(pass *Pass, id *ast.Ident) {
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	// Report the use of package members, not the import ident itself
+	// (the import line would double-report every use).
+	if _, isPkg := obj.(*types.PkgName); isPkg {
+		return
+	}
+	pass.Reportf(id.Pos(),
+		"%s.%s introduces pseudo-randomness into solver code: results stop being reproducible run-to-run (thread an explicit seeded source through the caller instead)",
+		obj.Pkg().Path(), obj.Name())
+}
+
+// checkMapRange flags range statements over map-typed expressions.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"range over map %s iterates in randomized order: any pruning or branching derived from it diverges between runs (iterate a sorted key slice, or allowlist with a sort-after justification)",
+		types.ExprString(rs.X))
+}

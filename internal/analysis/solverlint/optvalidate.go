@@ -1,0 +1,164 @@
+package solverlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// OptValidate keeps csp.Options validation exhaustive: every numeric
+// Options field is a budget or a degree knob whose negative values are
+// nonsense, and Options.withDefaults rejects them with a typed
+// *OptionError so callers can distinguish misconfiguration from solver
+// failure. A new numeric field that skips withDefaults ships an
+// unvalidated knob; this analyzer flags it at the field declaration.
+// The check requires both (a) a reference to the field inside
+// withDefaults and (b) an OptionError composite literal carrying the
+// field's name, so a field that is read but waved through unvalidated
+// is still a finding.
+var OptValidate = &Analyzer{
+	Name: "optvalidate",
+	Doc:  "numeric Options fields must be covered by the typed OptionError validation in withDefaults",
+	Run:  runOptValidate,
+}
+
+func runOptValidate(pass *Pass) error {
+	opts := lookupStruct(pass, "Options")
+	if opts == nil {
+		return nil // package has no Options struct; nothing to check
+	}
+	numeric := numericFields(opts)
+	if len(numeric) == 0 {
+		return nil
+	}
+	wd := findWithDefaults(pass)
+	if wd == nil {
+		pass.Reportf(opts.Obj().Pos(),
+			"Options has numeric fields (%s) but no withDefaults method to validate them with OptionError",
+			fieldNames(numeric))
+		return nil
+	}
+	referenced, named := withDefaultsCoverage(pass, wd, numeric)
+	for _, f := range numeric {
+		switch {
+		case !referenced[f.Name()]:
+			pass.Reportf(f.Pos(),
+				"Options.%s is never referenced in withDefaults: add a negative-value check returning *OptionError{Field: %q}",
+				f.Name(), f.Name())
+		case !named[f.Name()]:
+			pass.Reportf(f.Pos(),
+				"Options.%s is read in withDefaults but no OptionError names it: invalid values pass validation silently",
+				f.Name())
+		}
+	}
+	return nil
+}
+
+// lookupStruct returns the named struct type called name in the
+// package scope, or nil.
+func lookupStruct(pass *Pass, name string) *types.Named {
+	tn, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// numericFields returns the fields of the struct whose underlying type
+// is a (signed or unsigned) integer.
+func numericFields(named *types.Named) []*types.Var {
+	st := named.Underlying().(*types.Struct)
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fieldNames(fields []*types.Var) string {
+	names := make([]string, len(fields))
+	for i, f := range fields {
+		names[i] = f.Name()
+	}
+	return strings.Join(names, ", ")
+}
+
+// findWithDefaults returns the withDefaults func/method declaration.
+func findWithDefaults(pass *Pass) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "withDefaults" && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// withDefaultsCoverage scans wd's body and reports, per numeric field
+// name, whether it is referenced through a selector and whether an
+// OptionError composite literal names it in a string literal.
+func withDefaultsCoverage(pass *Pass, wd *ast.FuncDecl, fields []*types.Var) (referenced, named map[string]bool) {
+	fieldSet := map[types.Object]string{}
+	for _, f := range fields {
+		fieldSet[f] = f.Name()
+	}
+	referenced = map[string]bool{}
+	named = map[string]bool{}
+	ast.Inspect(wd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok {
+				if name, ok := fieldSet[sel.Obj()]; ok {
+					referenced[name] = true
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(n); t != nil && isOptionErrorType(t) {
+				for _, lit := range stringLiterals(n) {
+					named[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	return referenced, named
+}
+
+func isOptionErrorType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "OptionError"
+}
+
+// stringLiterals returns the unquoted string literal values appearing
+// directly in lit's elements.
+func stringLiterals(lit *ast.CompositeLit) []string {
+	var out []string
+	for _, elt := range lit.Elts {
+		e := elt
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		if bl, ok := e.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+			if s, err := strconv.Unquote(bl.Value); err == nil {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}

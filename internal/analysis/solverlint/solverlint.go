@@ -1,0 +1,185 @@
+// Package solverlint is a suite of project-specific static analyzers
+// that enforce the solver's cross-cutting invariants mechanically:
+//
+//   - clonecomplete: every propagator (a type with a Propagate method)
+//     must implement CloneFor so Store.Clone — and with it the parallel
+//     search entry points — keeps working, and CloneFor bodies must not
+//     alias mutable slice/map fields of the receiver.
+//   - nondeterminism: no time.Now/time.Since, math/rand, or map
+//     iteration in search/propagation packages, outside the documented
+//     deadline/anytime sites. Exhaustive parallel runs must be
+//     bit-identical to sequential runs for any worker count; a single
+//     stray wall-clock read or map-order dependence silently breaks
+//     that.
+//   - obsgate: obs.Recorder.Record calls in hot paths must be guarded
+//     by a nil check so the zero-alloc-when-disabled contract of the
+//     observability layer holds.
+//   - optvalidate: every numeric csp.Options field must be covered by
+//     the typed OptionError validation in withDefaults.
+//   - nakedpanic: panic in library packages only inside functions whose
+//     doc comment declares the panic (documented invariant-violation
+//     helpers).
+//
+// The suite is modelled on golang.org/x/tools/go/analysis but is
+// self-contained: the toolchain in this environment has no module
+// proxy access, so the framework (package loading, diagnostics,
+// suppression comments, fixture tests) is rebuilt here on the standard
+// library alone. Packages are loaded with `go list -export` and
+// type-checked with go/types against gc export data, which works fully
+// offline.
+//
+// A diagnostic is suppressed by a line comment of the form
+//
+//	//solverlint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: an undocumented suppression is itself a finding.
+package solverlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, in the style of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //solverlint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding: a position plus a message, tagged with the
+// analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allowed map[allowKey]bool
+	diags   []Diagnostic
+}
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const allowPrefix = "//solverlint:allow "
+
+// buildAllowed indexes every //solverlint:allow comment of the files.
+// A comment covers its own line and the following line, so it can sit
+// at the end of the offending line or directly above the offending
+// declaration.
+func buildAllowed(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allowed := map[allowKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					// A suppression without a reason is ignored, so the
+					// underlying diagnostic resurfaces.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					allowed[allowKey{file: pos.Filename, line: line, analyzer: name}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// Reportf records a diagnostic at pos unless an allow comment covers
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed[allowKey{file: position.Filename, line: position.Line, analyzer: p.Analyzer.Name}] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the type checker recorded
+// none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// RunAnalyzer applies a to pkg and returns the surviving diagnostics
+// sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		allowed:   buildAllowed(pkg.Fset, pkg.Files),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(pass.diags)
+	return pass.diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CloneComplete,
+		Nondeterminism,
+		ObsGate,
+		OptValidate,
+		NakedPanic,
+	}
+}

@@ -1,0 +1,60 @@
+package solverlint
+
+import "testing"
+
+func TestCloneComplete(t *testing.T)  { RunFixture(t, CloneComplete, "clonecomplete") }
+func TestNondeterminism(t *testing.T) { RunFixture(t, Nondeterminism, "nondeterminism") }
+func TestObsGate(t *testing.T)        { RunFixture(t, ObsGate, "obsgate") }
+func TestOptValidate(t *testing.T)    { RunFixture(t, OptValidate, "optvalidate") }
+func TestNakedPanic(t *testing.T)     { RunFixture(t, NakedPanic, "nakedpanic") }
+
+// TestAnalyzersRegistered pins the suite composition: the driver and
+// the docs both enumerate these five names.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"clonecomplete", "nondeterminism", "obsgate", "optvalidate", "nakedpanic"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}
+
+// TestAllowCommentRequiresReason checks that a bare //solverlint:allow
+// without a justification does not suppress anything.
+func TestAllowCommentRequiresReason(t *testing.T) {
+	pkg := loadTestPkg(t, map[string]string{"p.go": `
+// Package p is a throwaway.
+package p
+
+func f() {
+	panic("no reason given") //solverlint:allow nakedpanic
+}
+`})
+	diags, err := RunAnalyzer(NakedPanic, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("reason-less allow comment suppressed the diagnostic: got %v", diags)
+	}
+}
+
+// loadTestPkg writes files into a throwaway module and loads it.
+func loadTestPkg(t *testing.T, files map[string]string) *Package {
+	t.Helper()
+	pkgs := loadTestPkgs(t, files)
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}

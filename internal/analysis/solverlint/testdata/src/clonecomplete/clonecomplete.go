@@ -1,0 +1,95 @@
+// Package clonecomplete is a fixture: stand-ins for the csp Store and
+// Clonable protocol, with propagators that do and do not satisfy the
+// clonecomplete invariant.
+package clonecomplete
+
+// Store stands in for csp.Store.
+type Store struct{}
+
+// Propagator stands in for csp.Propagator.
+type Propagator interface {
+	Propagate(st *Store) error
+}
+
+// CloneCtx stands in for csp.CloneCtx.
+type CloneCtx struct{}
+
+// good implements both Propagate and a correct CloneFor.
+type good struct {
+	xs []int
+	c  int
+}
+
+func (g *good) Propagate(st *Store) error { return nil }
+
+func (g *good) CloneFor(ctx *CloneCtx) Propagator {
+	return &good{xs: append([]int(nil), g.xs...), c: g.c}
+}
+
+// missing has Propagate but no CloneFor.
+type missing struct{} // want `type missing has a Propagate method but no CloneFor`
+
+func (m *missing) Propagate(st *Store) error { return nil }
+
+// aliasing clones itself but shares its mutable slice and map.
+type aliasing struct {
+	xs []int
+	m  map[int]int
+}
+
+func (a *aliasing) Propagate(st *Store) error { return nil }
+
+func (a *aliasing) CloneFor(ctx *CloneCtx) Propagator {
+	return &aliasing{xs: a.xs, m: a.m} // want `aliases field a\.xs` `aliases field a\.m`
+}
+
+// positional aliases through a positional composite literal.
+type positional struct {
+	xs []int
+}
+
+func (p *positional) Propagate(st *Store) error { return nil }
+
+func (p *positional) CloneFor(ctx *CloneCtx) Propagator {
+	return &positional{p.xs} // want `aliases field p\.xs`
+}
+
+// assigned aliases through a field assignment after construction.
+type assigned struct {
+	xs []int
+}
+
+func (p *assigned) Propagate(st *Store) error { return nil }
+
+func (p *assigned) CloneFor(ctx *CloneCtx) Propagator {
+	n := &assigned{}
+	n.xs = p.xs // want `aliases field p\.xs`
+	return n
+}
+
+// shared shares an immutable lookup table, documented via the allow
+// comment: no diagnostic.
+type shared struct {
+	table []int
+}
+
+func (s *shared) Propagate(st *Store) error { return nil }
+
+func (s *shared) CloneFor(ctx *CloneCtx) Propagator {
+	//solverlint:allow clonecomplete table is immutable after construction and only read by Propagate
+	return &shared{table: s.table}
+}
+
+// FuncLike is documented as not clonable (the csp.FuncProp pattern).
+//
+//solverlint:allow clonecomplete closures cannot be re-targeted mechanically; stores holding one reject Clone by design
+type FuncLike func(st *Store) error
+
+// Propagate implements Propagator.
+func (f FuncLike) Propagate(st *Store) error { return f(st) }
+
+// notAPropagator has a Propagate-named method with the wrong shape
+// (no error result): out of scope.
+type notAPropagator struct{}
+
+func (n *notAPropagator) Propagate(st *Store) {}

@@ -1,0 +1,40 @@
+// Package nakedpanic is a fixture: documented and undocumented panics.
+package nakedpanic
+
+import "fmt"
+
+// Value returns the sole element. It panics if xs does not hold
+// exactly one value, which always indicates a caller bug.
+func Value(xs []int) int {
+	if len(xs) != 1 {
+		panic(fmt.Sprintf("nakedpanic: Value on %d elements", len(xs)))
+	}
+	return xs[0]
+}
+
+// Head returns the first element.
+func Head(xs []int) int {
+	if len(xs) == 0 {
+		panic("nakedpanic: empty slice") // want `undocumented panic in Head`
+	}
+	return xs[0]
+}
+
+func undocumentedHelper() {
+	panic("always") // want `undocumented panic in undocumentedHelper`
+}
+
+// Tail returns all but the first element, nil on empty input.
+func Tail(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	return xs[1:]
+}
+
+// legacyAssert keeps its suppression inline instead of a doc sentence.
+func legacyAssert(ok bool) {
+	if !ok {
+		panic("assertion failed") //solverlint:allow nakedpanic transitional: documented suppression pending doc rewrite
+	}
+}

@@ -1,0 +1,57 @@
+// Package nondeterminism is a fixture: wall-clock reads, randomness,
+// and map iteration in "solver" code, with and without allowlisting.
+package nondeterminism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// deadline mirrors the documented Options.Deadline polling site.
+func deadline(d time.Time) bool {
+	//solverlint:allow nondeterminism deadline polling is an explicitly anytime (non-deterministic) stop
+	return !d.IsZero() && time.Now().After(d)
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func sleepOK() {
+	time.Sleep(time.Millisecond) // sleeping does not branch the search: clean
+}
+
+func randomValue() int {
+	return rand.Intn(10) // want `math/rand\.Intn introduces pseudo-randomness`
+}
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m iterates in randomized order`
+		total += v
+	}
+	return total
+}
+
+func sortedMapOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//solverlint:allow nondeterminism keys are sorted below before any order-dependent use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices iterate deterministically: clean
+		total += v
+	}
+	return total
+}

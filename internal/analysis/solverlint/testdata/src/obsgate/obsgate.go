@@ -1,0 +1,69 @@
+// Package obsgate is a fixture: Recorder.Record call sites with and
+// without the required nil guard.
+package obsgate
+
+// Event stands in for obs.Event.
+type Event struct {
+	Kind  int
+	Depth int
+}
+
+// Recorder stands in for obs.Recorder.
+type Recorder interface {
+	Record(Event)
+}
+
+type options struct {
+	rec Recorder
+}
+
+type store struct {
+	rec Recorder
+}
+
+func guardedIf(o *options) {
+	if o.rec != nil {
+		o.rec.Record(Event{Kind: 1}) // clean: enclosing nil check
+	}
+}
+
+func guardedConjunction(o *options, depth int) {
+	if depth > 0 && o.rec != nil {
+		o.rec.Record(Event{Depth: depth}) // clean: nil check and-ed on
+	}
+}
+
+func guardedEarlyReturn(o *options) {
+	if o.rec == nil {
+		return
+	}
+	o.rec.Record(Event{Kind: 2}) // clean: early-return guard
+}
+
+func unguarded(o *options) {
+	o.rec.Record(Event{Kind: 3}) // want `unguarded o\.rec\.Record call`
+}
+
+func wrongGuard(o *options, s *store) {
+	if s.rec != nil {
+		o.rec.Record(Event{Kind: 4}) // want `unguarded o\.rec\.Record call`
+	}
+}
+
+// contractGuarded mirrors Store.notePrune: the guard is the documented
+// caller contract.
+func contractGuarded(s *store) {
+	//solverlint:allow obsgate callers check s.rec != nil per this helper's doc contract
+	s.rec.Record(Event{Kind: 5})
+}
+
+// forwarding stands in for recorder decorators: Record methods forward
+// unconditionally, the caller holds the guard.
+type forwarding struct {
+	inner Recorder
+}
+
+// Record implements Recorder.
+func (f forwarding) Record(e Event) {
+	f.inner.Record(e) // clean: inside a Record method
+}

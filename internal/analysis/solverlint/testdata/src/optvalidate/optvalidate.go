@@ -1,0 +1,42 @@
+// Package optvalidate is a fixture: an Options struct whose numeric
+// fields are variously validated, half-validated, and forgotten.
+package optvalidate
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options mirrors csp.Options.
+type Options struct {
+	MaxNodes   int64
+	Workers    int
+	SplitDepth int       // want `Options\.SplitDepth is read in withDefaults but no OptionError names it`
+	StallNodes int64     // want `Options\.StallNodes is never referenced in withDefaults`
+	Deadline   time.Time // non-numeric: exempt
+	Choose     func() int
+}
+
+// OptionError mirrors csp.OptionError.
+type OptionError struct {
+	Field string
+	Value int64
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("invalid Options.%s: %d", e.Field, e.Value)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	switch {
+	case o.MaxNodes < 0:
+		return o, &OptionError{Field: "MaxNodes", Value: o.MaxNodes}
+	case o.Workers < 0:
+		return o, &OptionError{Field: "Workers", Value: int64(o.Workers)}
+	}
+	if o.SplitDepth == 0 { // read, but never rejected with an OptionError
+		o.SplitDepth = 1
+	}
+	return o, nil
+}

@@ -135,6 +135,7 @@ func New(region *fabric.Region, opts Options) *Placer {
 // no feasible position at all yield an error; a module set that is
 // individually placeable but jointly infeasible yields Found=false.
 func (p *Placer) Place(mods []*module.Module) (*Result, error) {
+	//solverlint:allow nondeterminism run-start timestamp anchors Options.Timeout (a documented anytime stop) and Result.Elapsed reporting; exhaustive runs never read it
 	start := time.Now()
 	if len(mods) == 0 {
 		return nil, fmt.Errorf("core: no modules to place")
@@ -262,6 +263,7 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 		}
 	}
 
+	//solverlint:allow nondeterminism Result.Elapsed is reporting-only; no placement decision depends on it
 	res.Elapsed = time.Since(start)
 	if res.Found {
 		res.Utilization = metrics.Utilization(p.region, res.Occupancy(p.region))

@@ -187,7 +187,8 @@ type maxOf struct {
 	m    *Var
 }
 
-// MaxOf posts m = max(vars).
+// MaxOf posts m = max(vars). It panics when vars is empty: the maximum
+// of nothing is a modelling bug.
 func MaxOf(st *Store, m *Var, vars ...*Var) {
 	if len(vars) == 0 {
 		panic("csp: MaxOf over no variables")
@@ -260,7 +261,8 @@ type element struct {
 	result *Var
 }
 
-// Element posts result = table[index].
+// Element posts result = table[index]. It panics on an empty table,
+// which admits no support at all and is a modelling bug.
 func Element(st *Store, index *Var, table []int, result *Var) {
 	if len(table) == 0 {
 		panic("csp: Element with empty table")
@@ -274,6 +276,7 @@ func (p *element) Name() string { return "csp.element" }
 // CloneFor implements Clonable; the value table is immutable and
 // shared.
 func (p *element) CloneFor(ctx *CloneCtx) Propagator {
+	//solverlint:allow clonecomplete table is write-once at Element post time; Propagate only reads it
 	return &element{index: ctx.Var(p.index), table: p.table, result: ctx.Var(p.result)}
 }
 
@@ -304,7 +307,8 @@ type binaryTable struct {
 	ys      map[int][]int
 }
 
-// BinaryTable posts (x, y) ∈ pairs.
+// BinaryTable posts (x, y) ∈ pairs. It panics on an empty pair list,
+// which admits no support at all and is a modelling bug.
 func BinaryTable(st *Store, x, y *Var, pairs [][2]int) {
 	if len(pairs) == 0 {
 		panic("csp: BinaryTable with no allowed pairs")
@@ -333,6 +337,7 @@ func (p *binaryTable) Name() string { return "csp.binary-table" }
 func (p *binaryTable) CloneFor(ctx *CloneCtx) Propagator {
 	return &binaryTable{
 		x: ctx.Var(p.x), y: ctx.Var(p.y),
+		//solverlint:allow clonecomplete support tables are write-once at BinaryTable post time; Propagate only reads them
 		allowed: p.allowed, xs: p.xs, ys: p.ys,
 	}
 }
@@ -362,6 +367,8 @@ func (p *binaryTable) Propagate(st *Store) error {
 // constraints. FuncProp does not implement Clonable — a closure cannot
 // be re-targeted mechanically — so stores holding one cannot be cloned
 // for parallel search; post ad-hoc constraints per worker instead.
+//
+//solverlint:allow clonecomplete not clonable by design; Store.Clone rejects it with a CloneError (see doc above)
 type FuncProp func(st *Store) error
 
 // Propagate implements Propagator.

@@ -238,7 +238,8 @@ func (ps *parState) offer(st *Store, obj int, sub int64, depth int, rec obs.Reco
 		ps.trace = append(ps.trace, ObjectivePoint{
 			Objective: obj,
 			Nodes:     n,
-			Elapsed:   time.Since(ps.start),
+			//solverlint:allow nondeterminism Elapsed annotates the anytime trace for reporting; no search decision reads it
+			Elapsed: time.Since(ps.start),
 		})
 		if rec != nil {
 			rec.Record(obs.Event{Kind: obs.KindIncumbent, Objective: obj, Nodes: n, Depth: depth})
@@ -514,6 +515,7 @@ func MinimizeParallel(st *Store, vars []*Var, obj *Var, opts Options, onImproved
 		return res, err
 	}
 	jobs := splitJobs(st, searchVars, &opts, &res.Nodes, &res.Backtracks)
+	//solverlint:allow nondeterminism run-start timestamp only feeds ObjectivePoint.Elapsed (anytime trace), never a search decision
 	ps := &parState{opts: &opts, start: time.Now(), onImproved: onImproved}
 	ps.reason.Store(-1)
 	ps.nodes.Store(res.Nodes)
@@ -588,6 +590,7 @@ func SolveParallel(st *Store, vars []*Var, opts Options, onSolution func(*Store)
 		return res, err
 	}
 	jobs := splitJobs(st, vars, &opts, &res.Nodes, &res.Backtracks)
+	//solverlint:allow nondeterminism run-start timestamp only feeds ObjectivePoint.Elapsed (anytime trace), never a search decision
 	ps := &parState{opts: &opts, start: time.Now(), onSolution: onSolution}
 	ps.reason.Store(-1)
 	ps.nodes.Store(res.Nodes)

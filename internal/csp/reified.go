@@ -52,7 +52,8 @@ func (p *channelEq) Propagate(st *Store) error {
 
 // Count posts total = |{i : vars[i] = v}| via one boolean channel per
 // variable plus a sum — the occurrence-counting constraint used by
-// magic-series-style models.
+// magic-series-style models. It panics when vars is empty: counting
+// occurrences over nothing is a modelling bug.
 func Count(st *Store, total *Var, v int, vars ...*Var) {
 	if len(vars) == 0 {
 		panic("csp: Count over no variables")

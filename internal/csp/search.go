@@ -226,6 +226,7 @@ func Solve(st *Store, vars []*Var, opts Options, onSolution func(*Store) bool) (
 }
 
 func deadlineHit(opts *Options) bool {
+	//solverlint:allow nondeterminism Options.Deadline is a documented anytime stop; deadline runs are non-deterministic by contract
 	return !opts.Deadline.IsZero() && time.Now().After(opts.Deadline)
 }
 
@@ -351,7 +352,8 @@ func Minimize(st *Store, vars []*Var, obj *Var, opts Options, onImproved func(*S
 
 	ms := &minimizeState{
 		// bound is exclusive: solutions must achieve obj < bound.
-		bound:      obj.Max() + 1,
+		bound: obj.Max() + 1,
+		//solverlint:allow nondeterminism run-start timestamp only feeds ObjectivePoint.Elapsed (anytime trace), never a search decision
 		start:      time.Now(),
 		onImproved: onImproved,
 	}
@@ -422,7 +424,8 @@ func minimizeRec(st *Store, vars []*Var, obj *Var, opts *Options, res *MinimizeR
 			res.BestObjectiveTrace = append(res.BestObjectiveTrace, ObjectivePoint{
 				Objective: val,
 				Nodes:     res.Nodes,
-				Elapsed:   time.Since(ms.start),
+				//solverlint:allow nondeterminism Elapsed annotates the anytime trace for reporting; no search decision reads it
+				Elapsed: time.Since(ms.start),
 			})
 			if opts.Recorder != nil {
 				opts.Recorder.Record(obs.Event{Kind: obs.KindIncumbent, Objective: val, Nodes: res.Nodes, Depth: depth})

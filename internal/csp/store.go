@@ -143,7 +143,9 @@ func (st *Store) EnableTiming(on bool) { st.timing = on }
 func (st *Store) PropagationTime() time.Duration { return st.propagDur }
 
 // NewVar creates a variable with the given initial domain. The domain is
-// cloned: callers may reuse the argument.
+// cloned: callers may reuse the argument. It panics on a nil or empty
+// domain — a variable with no values is a modelling bug, not a search
+// state.
 func (st *Store) NewVar(name string, dom *Domain) *Var {
 	if dom == nil || dom.Empty() {
 		panic("csp: NewVar with nil or empty domain")
@@ -220,6 +222,7 @@ func (st *Store) PropagatorStats() []PropagatorStat {
 		byName[st.propName(i)] += st.props[i].runs
 	}
 	out := make([]PropagatorStat, 0, len(byName))
+	//solverlint:allow nondeterminism aggregation order is irrelevant; the result is fully sorted below before returning
 	for n, r := range byName {
 		out = append(out, PropagatorStat{Name: n, Runs: r})
 	}
@@ -273,6 +276,7 @@ func (st *Store) runningName() string {
 // captured ahead of the mutation. Call only when st.rec != nil was
 // already checked to keep the disabled path free of any work.
 func (st *Store) notePrune(v *Var, before int) {
+	//solverlint:allow obsgate the nil check is the caller's documented precondition (see doc comment); re-checking here would double the guard on every prune
 	st.rec.Record(obs.Event{
 		Kind:    obs.KindPrune,
 		Var:     v.name,
@@ -414,8 +418,10 @@ func (st *Store) Propagate() error {
 	if !st.timing {
 		return st.propagate()
 	}
+	//solverlint:allow nondeterminism opt-in EnableTiming measurement; the timing never influences propagation or search
 	start := time.Now()
 	err := st.propagate()
+	//solverlint:allow nondeterminism opt-in EnableTiming measurement; the timing never influences propagation or search
 	st.propagDur += time.Since(start)
 	return err
 }
@@ -460,7 +466,8 @@ func (st *Store) Push() {
 }
 
 // Pop restores all domains to their state at the matching Push and
-// clears any pending failure.
+// clears any pending failure. It panics when no Push is open: an
+// unbalanced Pop always indicates a search-loop bug.
 func (st *Store) Pop() {
 	if len(st.marks) == 0 {
 		panic("csp: Pop without Push")

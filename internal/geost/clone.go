@@ -76,6 +76,7 @@ func (p *nonOverlapPair) CloneFor(ctx *csp.CloneCtx) csp.Propagator {
 
 // CloneFor implements csp.Clonable.
 func (p *heightBound) CloneFor(ctx *csp.CloneCtx) csp.Propagator {
+	//solverlint:allow clonecomplete capPrefix is the immutable capacity table (see aliasing audit above); Propagate only reads it
 	return &heightBound{k: cloneKernel(ctx, p.k), height: ctx.Var(p.height), capPrefix: p.capPrefix}
 }
 

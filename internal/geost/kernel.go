@@ -74,7 +74,8 @@ type Kernel struct {
 	scratch *grid.Bitmap
 }
 
-// New creates a kernel over a w×h space backed by st.
+// New creates a kernel over a w×h space backed by st. It panics on
+// non-positive dimensions: an empty space is a caller bug.
 func New(st *csp.Store, w, h int) *Kernel {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("geost: invalid space %dx%d", w, h))

@@ -116,7 +116,9 @@ type heightBound struct {
 // PostHeightObjective creates the occupied-height variable: height =
 // max over objects of Top, plus capacity-based lower-bound reasoning
 // against capPrefix (capPrefix[h] must hold per-kind tile counts of the
-// space's first h rows; len(capPrefix) == spaceH+1).
+// space's first h rows; len(capPrefix) == spaceH+1). It panics on a
+// capPrefix of the wrong length or a kernel without objects — both are
+// modelling bugs.
 func (k *Kernel) PostHeightObjective(capPrefix []fabric.Histogram) *csp.Var {
 	if len(capPrefix) != k.h+1 {
 		panic("geost: capPrefix must have spaceH+1 entries")

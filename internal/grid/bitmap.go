@@ -103,7 +103,8 @@ func (b *Bitmap) Clear() {
 	}
 }
 
-// CopyFrom overwrites b with src. The bitmaps must have equal dimensions.
+// CopyFrom overwrites b with src. The bitmaps must have equal
+// dimensions; a mismatch panics.
 func (b *Bitmap) CopyFrom(src *Bitmap) {
 	if b.w != src.w || b.h != src.h {
 		panic("grid: CopyFrom dimension mismatch")
@@ -135,7 +136,8 @@ func (b *Bitmap) AnyAt(ps []Point, at Point) bool {
 	return false
 }
 
-// Or sets every bit that is set in src. Dimensions must match.
+// Or sets every bit that is set in src. Dimensions must match; a
+// mismatch panics.
 func (b *Bitmap) Or(src *Bitmap) {
 	if b.w != src.w || b.h != src.h {
 		panic("grid: Or dimension mismatch")
@@ -145,7 +147,8 @@ func (b *Bitmap) Or(src *Bitmap) {
 	}
 }
 
-// AndNot clears every bit that is set in src. Dimensions must match.
+// AndNot clears every bit that is set in src. Dimensions must match;
+// a mismatch panics.
 func (b *Bitmap) AndNot(src *Bitmap) {
 	if b.w != src.w || b.h != src.h {
 		panic("grid: AndNot dimension mismatch")
@@ -155,8 +158,8 @@ func (b *Bitmap) AndNot(src *Bitmap) {
 	}
 }
 
-// Intersects reports whether b and src share a set bit. Dimensions must
-// match.
+// Intersects reports whether b and src share a set bit. Dimensions
+// must match; a mismatch panics.
 func (b *Bitmap) Intersects(src *Bitmap) bool {
 	if b.w != src.w || b.h != src.h {
 		panic("grid: Intersects dimension mismatch")

@@ -19,7 +19,8 @@ type Histogram struct {
 }
 
 // newHistogram builds a histogram over the given bucket upper bounds
-// (must be strictly increasing; an implicit +Inf bucket is appended).
+// (an implicit +Inf bucket is appended). Bounds that are not strictly
+// increasing panic: buckets would silently misclassify observations.
 func newHistogram(bounds []float64) *Histogram {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
@@ -37,7 +38,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // ExpBounds returns n exponentially growing bucket bounds starting at
-// start with the given factor — the usual shape for latencies.
+// start with the given factor — the usual shape for latencies. It
+// panics unless start > 0, factor > 1 and n >= 1.
 func ExpBounds(start, factor float64, n int) []float64 {
 	if start <= 0 || factor <= 1 || n < 1 {
 		panic("obs: ExpBounds needs start > 0, factor > 1, n >= 1")
@@ -51,7 +53,8 @@ func ExpBounds(start, factor float64, n int) []float64 {
 	return out
 }
 
-// LinearBounds returns n bounds start, start+step, ...
+// LinearBounds returns n bounds start, start+step, ... It panics
+// unless step > 0 and n >= 1.
 func LinearBounds(start, step float64, n int) []float64 {
 	if step <= 0 || n < 1 {
 		panic("obs: LinearBounds needs step > 0, n >= 1")
