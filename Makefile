@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt-check lint solverlint tools check bench fuzz clean
+.PHONY: all build test race vet fmt-check lint solverlint tools check bench bench-service fuzz smoke clean
 
 all: build
 
@@ -74,6 +74,18 @@ bench:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDomain -fuzztime $(FUZZTIME) ./internal/csp
 	$(GO) test -run xxx -fuzz FuzzPlacementValid -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzCanonDigest -fuzztime $(FUZZTIME) ./internal/canon
+
+# The serving benchmark pair behind EXPERIMENTS.md: a cached Table-I
+# placement versus the same request re-solved from scratch.
+bench-service:
+	$(GO) test -run xxx -bench BenchmarkServiceCacheHit -benchtime 2s ./internal/service
+	$(GO) test -run xxx -bench BenchmarkServiceColdSolve -benchtime 2x ./internal/service
+
+# End-to-end daemon smoke test (requires curl): build cmd/placed, serve
+# the committed smoke request, require miss → byte-identical hit.
+smoke:
+	sh scripts/smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,116 @@
+// Command placed is the placement daemon: a long-lived HTTP/JSON
+// server wrapping the constraint placer behind a canonical instance
+// cache (see internal/service). Repeated requests for the same module
+// mix — the common case when a runtime-reconfigurable system keeps
+// re-deriving schedules over one module library — are answered from
+// the cache in sub-millisecond time instead of re-running a
+// multi-second solve.
+//
+// Example:
+//
+//	placed -addr localhost:8080 -workers 4 -cache-entries 4096
+//	curl -s -X POST localhost:8080/v1/place -d '{
+//	  "fabric": "virtex4-like-72x60",
+//	  "generate": {"seed": 1, "numModules": 6, "alternatives": 4},
+//	  "options": {"stallNodes": 400}
+//	}'
+//
+// The first request solves (X-Cache: miss); an identical request —
+// even with modules or shapes listed in a different order — returns
+// the byte-identical body from the cache (X-Cache: hit). /v1/healthz
+// answers liveness probes, /v1/stats reports cache hit ratio, queue
+// depth and in-flight solves, and /v1/fabrics lists the device
+// catalog.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// cliOpts carries the parsed command line into run.
+type cliOpts struct {
+	addr           string
+	workers        int
+	cacheEntries   int
+	maxInFlight    int
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	metricsPath    string
+}
+
+func main() {
+	var o cliOpts
+	flag.StringVar(&o.addr, "addr", "localhost:8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 2, "concurrent solver goroutines")
+	flag.IntVar(&o.cacheEntries, "cache-entries", 1024, "canonical-instance cache capacity")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 64, "admission queue capacity before 429")
+	flag.DurationVar(&o.defaultTimeout, "default-timeout", 10*time.Second, "per-solve budget when the request sets none")
+	flag.DurationVar(&o.maxTimeout, "max-timeout", time.Minute, "cap on the per-solve budget a request may ask for")
+	flag.StringVar(&o.metricsPath, "metrics", "", "dump metrics at exit: - for a summary table, a path for Prometheus text format")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "placed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o cliOpts) (err error) {
+	session, err := obs.Start(obs.Config{MetricsPath: o.metricsPath})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := session.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	reg := session.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	svc := service.New(service.Config{
+		Workers:        o.workers,
+		CacheEntries:   o.cacheEntries,
+		MaxInFlight:    o.maxInFlight,
+		DefaultTimeout: o.defaultTimeout,
+		MaxTimeout:     o.maxTimeout,
+		Registry:       reg,
+	})
+	defer svc.Close()
+
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("placed: serving on http://%s (workers=%d cache=%d max-inflight=%d)\n",
+			o.addr, o.workers, o.cacheEntries, o.maxInFlight)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("placed: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

@@ -79,15 +79,6 @@ func addObsFlags(cfg *obs.Config) {
 	flag.StringVar(&cfg.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 }
 
-func parseStrategy(s string) (core.Strategy, error) {
-	for _, st := range []core.Strategy{core.StrategyFirstFail, core.StrategyLargestFirst, core.StrategyInputOrder} {
-		if st.String() == s {
-			return st, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown strategy %q", s)
-}
-
 func run(o cliOpts) (err error) {
 	regionFile, err := os.Open(o.regionPath)
 	if err != nil {
@@ -104,7 +95,7 @@ func run(o cliOpts) (err error) {
 	if err != nil {
 		return err
 	}
-	strat, err := parseStrategy(o.strategy)
+	strat, err := core.ParseStrategy(o.strategy)
 	if err != nil {
 		return err
 	}

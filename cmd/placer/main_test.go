@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -194,11 +195,11 @@ func TestRunErrors(t *testing.T) {
 
 func TestParseStrategy(t *testing.T) {
 	for _, s := range []string{"first-fail", "largest-first", "input-order"} {
-		if _, err := parseStrategy(s); err != nil {
+		if _, err := core.ParseStrategy(s); err != nil {
 			t.Errorf("%s rejected: %v", s, err)
 		}
 	}
-	if _, err := parseStrategy("nope"); err == nil {
+	if _, err := core.ParseStrategy("nope"); err == nil {
 		t.Error("bad strategy accepted")
 	}
 }

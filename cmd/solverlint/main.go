@@ -29,10 +29,12 @@ var scopes = map[string][]string{
 	// Clonability is a contract of the constraint kernel and the geost
 	// propagators; other packages define no propagators.
 	"clonecomplete": {"internal/csp", "internal/geost"},
-	// Determinism matters on the search and propagation call paths:
-	// kernel, geometric propagators, placer. Workload/netlist
-	// generators and experiment drivers are deliberately seeded-random.
-	"nondeterminism": {"internal/csp", "internal/geost", "internal/core"},
+	// Determinism matters on the search and propagation call paths —
+	// kernel, geometric propagators, placer — and in canonicalization,
+	// where a wandering digest would silently split or alias cache
+	// entries. Workload/netlist generators and experiment drivers are
+	// deliberately seeded-random.
+	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/canon"},
 	// The zero-alloc-when-disabled contract covers the solver hot
 	// paths instrumented in PR 1.
 	"obsgate": {"internal/csp", "internal/geost", "internal/core"},

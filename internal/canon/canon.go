@@ -1,0 +1,202 @@
+// Package canon canonicalizes placement requests. A placement request —
+// a fabric, an optional region window, a set of modules (each a set of
+// design-alternative shapes) and request-level solver options — is
+// semantically unchanged by reordering the modules or reordering the
+// shapes within a module: the paper's formulation is over *sets*
+// (M = {S_1 … S_n}), and the serving layer solves the canonical
+// instance so equal sets produce equal placements. This package
+// computes that canonical form and a collision-resistant digest of it,
+// which is the cache key of the placement service: digest equality is
+// (up to hash collision) canonical equality, so a cache keyed by the
+// digest can never serve a placement for a different instance.
+//
+// The encoding behind the digest is injective: every field is
+// length-prefixed (uvarint framing), so no two distinct canonical
+// requests share an encoding. Option fields are all included — timeout,
+// stall budget and worker count change what an anytime solver returns,
+// so they distinguish cache entries.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/module"
+)
+
+// Request is a transport-independent placement request: the instance a
+// placement service is asked to solve. Fabric names a device (the
+// fabric catalog's vocabulary, though canon treats it as an opaque
+// identifier), Region optionally windows it (the zero Rect means the
+// full device), Modules are the units to place and Options tune the
+// solver.
+type Request struct {
+	Fabric  string
+	Region  grid.Rect
+	Modules []*module.Module
+	Options core.RequestOptions
+}
+
+// Digest is a SHA-256 fingerprint of a canonical request.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Canonical returns the normalised copy of the request: shapes within
+// each module sorted by their geometric key, modules sorted by name,
+// bus rows sorted and deduplicated. The receiver is not modified. It
+// rejects requests with no modules, nil modules, duplicate module
+// names, or invalid options, since none of those have a well-defined
+// canonical instance.
+func (r *Request) Canonical() (*Request, error) {
+	if r.Fabric == "" {
+		return nil, fmt.Errorf("canon: empty fabric name")
+	}
+	if len(r.Modules) == 0 {
+		return nil, fmt.Errorf("canon: no modules in request")
+	}
+	if err := r.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("canon: %w", err)
+	}
+	out := &Request{Fabric: r.Fabric, Region: r.Region, Options: r.Options}
+	out.Modules = make([]*module.Module, len(r.Modules))
+	seen := make(map[string]bool, len(r.Modules))
+	for i, m := range r.Modules {
+		if m == nil {
+			return nil, fmt.Errorf("canon: nil module at index %d", i)
+		}
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("canon: duplicate module name %q", m.Name())
+		}
+		seen[m.Name()] = true
+		cm, err := canonicalModule(m)
+		if err != nil {
+			return nil, err
+		}
+		out.Modules[i] = cm
+	}
+	sort.Slice(out.Modules, func(i, j int) bool {
+		return out.Modules[i].Name() < out.Modules[j].Name()
+	})
+	out.Options.BusRows = sortedUniqueInts(r.Options.BusRows)
+	return out, nil
+}
+
+// canonicalModule rebuilds m with its design alternatives in key order.
+func canonicalModule(m *module.Module) (*module.Module, error) {
+	shapes := make([]*module.Shape, len(m.Shapes()))
+	copy(shapes, m.Shapes())
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i].Key() < shapes[j].Key() })
+	cm, err := module.NewModule(m.Name(), shapes...)
+	if err != nil {
+		return nil, fmt.Errorf("canon: module %s: %w", m.Name(), err)
+	}
+	return cm, nil
+}
+
+// sortedUniqueInts returns a sorted copy of xs with duplicates removed
+// (nil in, nil out).
+func sortedUniqueInts(xs []int) []int {
+	if xs == nil {
+		return nil
+	}
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	n := 0
+	for i, x := range out {
+		if i == 0 || x != out[n-1] {
+			out[n] = x
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// CanonicalBytes returns the injective byte encoding of the canonical
+// form of the request. Two requests are canonically equal iff their
+// CanonicalBytes are equal; Digest hashes exactly these bytes.
+func (r *Request) CanonicalBytes() ([]byte, error) {
+	c, err := r.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	return c.appendEncoding(make([]byte, 0, 256)), nil
+}
+
+// Digest canonicalizes the request and returns the SHA-256 of its
+// canonical encoding.
+func (r *Request) Digest() (Digest, error) {
+	b, err := r.CanonicalBytes()
+	if err != nil {
+		return Digest{}, err
+	}
+	return sha256.Sum256(b), nil
+}
+
+// Equal reports whether a and b are canonically equal. It returns false
+// (never an error) if either request has no canonical form.
+func Equal(a, b *Request) bool {
+	ab, err := a.CanonicalBytes()
+	if err != nil {
+		return false
+	}
+	bb, err := b.CanonicalBytes()
+	if err != nil {
+		return false
+	}
+	return string(ab) == string(bb)
+}
+
+// encVersion tags the encoding layout; bump it whenever the frame
+// structure below changes so old digests cannot alias new ones.
+const encVersion = 1
+
+// appendEncoding writes the canonical frame. Every variable-length
+// field is length-prefixed, making the overall encoding injective.
+func (c *Request) appendEncoding(b []byte) []byte {
+	b = append(b, encVersion)
+	b = appendString(b, c.Fabric)
+	b = binary.AppendVarint(b, int64(c.Region.MinX))
+	b = binary.AppendVarint(b, int64(c.Region.MinY))
+	b = binary.AppendVarint(b, int64(c.Region.MaxX))
+	b = binary.AppendVarint(b, int64(c.Region.MaxY))
+	b = binary.AppendUvarint(b, uint64(len(c.Modules)))
+	for _, m := range c.Modules {
+		b = appendString(b, m.Name())
+		b = binary.AppendUvarint(b, uint64(m.NumShapes()))
+		for _, s := range m.Shapes() {
+			b = appendString(b, s.Key())
+		}
+	}
+	o := c.Options
+	b = binary.AppendVarint(b, int64(o.Timeout))
+	b = append(b, byte(o.Strategy), byte(o.ValueOrder), boolByte(o.FirstSolutionOnly))
+	b = binary.AppendVarint(b, o.StallNodes)
+	b = binary.AppendUvarint(b, uint64(len(o.BusRows)))
+	for _, r := range o.BusRows {
+		b = binary.AppendVarint(b, int64(r))
+	}
+	b = binary.AppendVarint(b, int64(o.Workers))
+	b = append(b, boolByte(o.StrongPropagation))
+	return b
+}
+
+// appendString writes a uvarint length prefix followed by the bytes.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,181 @@
+package canon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/module"
+	"repro/internal/workload"
+)
+
+// FuzzCanonDigest drives the digest's core contract — digest equality
+// is canonical equality — from fuzzed instances:
+//
+//   - determinism: the same request digests identically every time;
+//   - idempotence: canonicalizing a canonical request is a no-op;
+//   - invariance: permuting modules, shapes and bus rows (and
+//     duplicating bus rows) never moves the digest;
+//   - sensitivity: a semantic mutation (rename, dropped shape, option
+//     change, region change, fabric change) always moves it.
+//
+// Seed corpus lives in testdata/fuzz/FuzzCanonDigest.
+func FuzzCanonDigest(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), "virtex4-like-72x60", int64(7), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(1), "spartan-like-24x16", int64(3), uint8(1))
+	f.Add(int64(3), uint8(6), uint8(4), "f", int64(11), uint8(2))
+	f.Add(int64(4), uint8(2), uint8(3), "virtex4-like-72x60", int64(5), uint8(3))
+	f.Add(int64(5), uint8(4), uint8(2), "dev-…-utf8", int64(13), uint8(4))
+	f.Add(int64(6), uint8(5), uint8(1), "x", int64(17), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, nMods, alts uint8, fab string, permSeed int64, mutate uint8) {
+		cfg := workload.Config{
+			NumModules:   1 + int(nMods%6),
+			CLBMin:       3,
+			CLBMax:       8,
+			NoBRAM:       true,
+			Alternatives: 1 + int(alts%4),
+		}
+		mods, err := workload.Generate(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Skip()
+		}
+		req := &canon.Request{
+			Fabric:  fab,
+			Region:  grid.Rect{MinX: int(nMods % 3), MinY: 0, MaxX: int(nMods%3) + 20, MaxY: 16},
+			Modules: mods,
+			Options: core.RequestOptions{
+				StallNodes:        int64(alts%8) * 100,
+				Workers:           int(nMods % 3),
+				BusRows:           []int{int(alts % 5), int(nMods % 7)},
+				StrongPropagation: seed%2 == 0,
+			},
+		}
+
+		d1, err := req.Digest()
+		if fab == "" {
+			if err == nil {
+				t.Fatal("empty fabric digested without error")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("digest: %v", err)
+		}
+
+		// Determinism: a second digest of the untouched request agrees.
+		d1b, err := req.Digest()
+		if err != nil || d1 != d1b {
+			t.Fatalf("digest not deterministic: %s vs %s (err %v)", d1, d1b, err)
+		}
+
+		// Idempotence: the canonical form is its own canonical form.
+		c, err := req.Canonical()
+		if err != nil {
+			t.Fatalf("canonical: %v", err)
+		}
+		cb, err := c.CanonicalBytes()
+		if err != nil {
+			t.Fatalf("re-canonicalize: %v", err)
+		}
+		rb, _ := req.CanonicalBytes()
+		if string(cb) != string(rb) {
+			t.Fatal("canonicalization is not idempotent")
+		}
+
+		// Invariance: permute everything semantics-preserving.
+		perm := permuteRequest(t, req, rand.New(rand.NewSource(permSeed)))
+		d2, err := perm.Digest()
+		if err != nil {
+			t.Fatalf("permuted digest: %v", err)
+		}
+		if d1 != d2 {
+			t.Fatalf("permutation moved the digest: %s vs %s", d1, d2)
+		}
+		if !canon.Equal(req, perm) {
+			t.Fatal("digest-equal requests not canon.Equal")
+		}
+
+		// Sensitivity: one semantic mutation must move the digest.
+		mut, desc := mutateRequest(t, req, mutate)
+		d3, err := mut.Digest()
+		if err != nil {
+			t.Fatalf("mutated (%s) digest: %v", desc, err)
+		}
+		if d3 == d1 {
+			t.Fatalf("mutation %q left the digest unchanged", desc)
+		}
+		if canon.Equal(req, mut) {
+			t.Fatalf("mutation %q left the requests canon.Equal", desc)
+		}
+	})
+}
+
+// permuteRequest returns a semantically identical request: shuffled
+// module order, shuffled shape order within each module, and bus rows
+// reversed plus one duplicated.
+func permuteRequest(t *testing.T, req *canon.Request, rng *rand.Rand) *canon.Request {
+	t.Helper()
+	out := *req
+	out.Modules = make([]*module.Module, len(req.Modules))
+	for i, m := range req.Modules {
+		pm, err := m.WithShapes(rng.Perm(m.NumShapes())...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Modules[i] = pm
+	}
+	rng.Shuffle(len(out.Modules), func(i, j int) {
+		out.Modules[i], out.Modules[j] = out.Modules[j], out.Modules[i]
+	})
+	rows := req.Options.BusRows
+	rev := make([]int, 0, len(rows)+1)
+	for i := len(rows) - 1; i >= 0; i-- {
+		rev = append(rev, rows[i])
+	}
+	if len(rows) > 0 {
+		rev = append(rev, rows[0]) // duplicate: dedup must absorb it
+	}
+	out.Options.BusRows = rev
+	return &out
+}
+
+// mutateRequest applies one semantic mutation selected by sel and
+// returns the mutated request plus a description for failure messages.
+func mutateRequest(t *testing.T, req *canon.Request, sel uint8) (*canon.Request, string) {
+	t.Helper()
+	out := *req
+	switch sel % 6 {
+	case 0:
+		out.Fabric = req.Fabric + "'"
+		return &out, "fabric name"
+	case 1:
+		out.Region.MaxY = req.Region.MaxY + 1
+		return &out, "region window"
+	case 2:
+		mods := append([]*module.Module(nil), req.Modules...)
+		renamed, err := module.NewModule(mods[0].Name()+"'", mods[0].Shapes()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods[0] = renamed
+		out.Modules = mods
+		return &out, "module name"
+	case 3:
+		out.Options.StallNodes = req.Options.StallNodes + 1
+		return &out, "stall budget"
+	case 4:
+		out.Options.StrongPropagation = !req.Options.StrongPropagation
+		return &out, "propagation strength"
+	default:
+		maxRow := 0
+		for _, r := range req.Options.BusRows {
+			if r >= maxRow {
+				maxRow = r + 1
+			}
+		}
+		out.Options.BusRows = append(append([]int(nil), req.Options.BusRows...), maxRow)
+		return &out, "bus rows"
+	}
+}

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current solver output")
+
+// goldenPlacement is the pinned form of one solve: the objective and
+// the full placement, but not wall-clock or node-count fields, which
+// may drift with harmless search-engine changes.
+type goldenPlacement struct {
+	Found       bool           `json:"found"`
+	Height      int            `json:"height"`
+	Utilization float64        `json:"utilization"`
+	Optimal     bool           `json:"optimal"`
+	Stalled     bool           `json:"stalled"`
+	Reason      string         `json:"reason"`
+	Placements  []goldenModule `json:"placements"`
+}
+
+type goldenModule struct {
+	Module string `json:"module"`
+	Shape  int    `json:"shape"`
+	X      int    `json:"x"`
+	Y      int    `json:"y"`
+	W      int    `json:"w"`
+	H      int    `json:"h"`
+}
+
+// TestGoldenTableIPlacement pins the end-to-end result of the paper's
+// flagship instance: the seed-1 batch of 30 generated modules with
+// design alternatives on the Table-I region, solved sequentially with
+// the node-based stall criterion and no wall-clock cutoff — a fully
+// deterministic configuration. Any solver change that moves this
+// placement shows up as a golden diff; regenerate deliberately with
+//
+//	go test ./internal/core -run TestGoldenTableIPlacement -update
+func TestGoldenTableIPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second exhaustive solve; skipped with -short")
+	}
+	region := experiments.TableIRegion()
+	mods := workload.MustGenerate(workload.Config{}, rand.New(rand.NewSource(1)))
+	// Timeout must stay zero: a wall-clock stop makes the search
+	// nondeterministic, a node-based stall stop does not.
+	res, err := core.New(region, core.Options{StallNodes: 800}).Place(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(region); err != nil {
+		t.Fatal(err)
+	}
+
+	got := goldenPlacement{
+		Found:       res.Found,
+		Height:      res.Height,
+		Utilization: res.Utilization,
+		Optimal:     res.Optimal,
+		Stalled:     res.Stalled,
+		Reason:      res.Reason.String(),
+	}
+	for _, p := range res.Placements {
+		s := p.Shape()
+		got.Placements = append(got.Placements, goldenModule{
+			Module: p.Module.Name(),
+			Shape:  p.ShapeIndex,
+			X:      p.At.X,
+			Y:      p.At.Y,
+			W:      s.W(),
+			H:      s.H(),
+		})
+	}
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	goldenPath := filepath.Join("testdata", "table1-seed1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (height %d, util %.4f)", goldenPath, got.Height, got.Utilization)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("Table-I seed-1 placement diverged from golden file %s.\n"+
+			"If the solver change is intentional, regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, data, want)
+	}
+}

@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/module"
+	"repro/internal/workload"
+)
+
+// The metamorphic properties: the sequential placer's objective —
+// occupied height and the utilization derived from it — is a function
+// of the module *set*, so permuting the module order or the order of
+// design alternatives within a module must not change it when the
+// search runs to completion (exhaustive proof, no stall or timeout
+// stop). Only exhaustive runs carry the guarantee: an anytime stop
+// freezes whatever the permuted search happened to reach first.
+//
+// The instance matrix is deliberately reduced (small regions, few
+// modules) so the exhaustive proofs keep `go test ./...` fast.
+
+// metamorphicCase is one cell of the instance matrix.
+type metamorphicCase struct {
+	name   string
+	spec   fabric.Spec
+	cfg    workload.Config
+	seed   int64
+	placer core.Options
+}
+
+func metamorphicMatrix() []metamorphicCase {
+	exhaustive := core.Options{} // no timeout, no stall: run to optimality proof
+	strong := exhaustive
+	strong.StrongPropagation = true
+	largest := exhaustive
+	largest.Strategy = core.StrategyLargestFirst
+	return []metamorphicCase{
+		{
+			name: "homogeneous-tight",
+			spec: fabric.Spec{Name: "m1", W: 10, H: 8},
+			cfg:  workload.Config{NumModules: 4, CLBMin: 4, CLBMax: 8, NoBRAM: true, Alternatives: 2},
+			seed: 1, placer: exhaustive,
+		},
+		{
+			name: "bram-column",
+			spec: fabric.Spec{Name: "m2", W: 12, H: 8, BRAMColumns: []int{5}},
+			cfg:  workload.Config{NumModules: 3, CLBMin: 4, CLBMax: 7, BRAMMin: 0, BRAMMax: 1, Alternatives: 3},
+			seed: 2, placer: exhaustive,
+		},
+		{
+			name: "strong-propagation",
+			spec: fabric.Spec{Name: "m3", W: 10, H: 8},
+			cfg:  workload.Config{NumModules: 4, CLBMin: 4, CLBMax: 6, NoBRAM: true, Alternatives: 2},
+			seed: 3, placer: strong,
+		},
+		{
+			name: "largest-first",
+			spec: fabric.Spec{Name: "m4", W: 10, H: 8},
+			cfg:  workload.Config{NumModules: 4, CLBMin: 4, CLBMax: 8, NoBRAM: true, Alternatives: 2},
+			seed: 4, placer: largest,
+		},
+		{
+			name: "rotations",
+			spec: fabric.Spec{Name: "m5", W: 12, H: 10, BRAMColumns: []int{3, 9}},
+			cfg:  workload.Config{NumModules: 3, CLBMin: 5, CLBMax: 9, BRAMMin: 1, BRAMMax: 1, Alternatives: 4},
+			seed: 5, placer: exhaustive,
+		},
+	}
+}
+
+// solveObjective runs one exhaustive solve and returns its objective.
+func solveObjective(t *testing.T, region *fabric.Region, opts core.Options, mods []*module.Module) (height int, util float64) {
+	t.Helper()
+	res, err := core.New(region, opts).Place(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no placement found")
+	}
+	if !res.Optimal {
+		t.Fatalf("solve not exhaustive (reason %s); the permutation property only holds for proofs", res.Reason)
+	}
+	if err := res.Validate(region); err != nil {
+		t.Fatal(err)
+	}
+	return res.Height, res.Utilization
+}
+
+func permuteModules(mods []*module.Module, rng *rand.Rand) []*module.Module {
+	out := append([]*module.Module(nil), mods...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func permuteShapes(t *testing.T, mods []*module.Module, rng *rand.Rand) []*module.Module {
+	t.Helper()
+	out := make([]*module.Module, len(mods))
+	for i, m := range mods {
+		pm, err := m.WithShapes(rng.Perm(m.NumShapes())...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = pm
+	}
+	return out
+}
+
+func TestMetamorphicModuleOrderInvariance(t *testing.T) {
+	for _, tc := range metamorphicMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			region := tc.spec.MustBuild().FullRegion()
+			mods := workload.MustGenerate(tc.cfg, rand.New(rand.NewSource(tc.seed)))
+			wantH, wantU := solveObjective(t, region, tc.placer, mods)
+			rng := rand.New(rand.NewSource(tc.seed * 101))
+			for trial := 0; trial < 3; trial++ {
+				perm := permuteModules(mods, rng)
+				gotH, gotU := solveObjective(t, region, tc.placer, perm)
+				if gotH != wantH || gotU != wantU {
+					t.Fatalf("trial %d: module permutation changed objective: height %d util %v, want height %d util %v",
+						trial, gotH, gotU, wantH, wantU)
+				}
+			}
+		})
+	}
+}
+
+func TestMetamorphicShapeOrderInvariance(t *testing.T) {
+	for _, tc := range metamorphicMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			region := tc.spec.MustBuild().FullRegion()
+			mods := workload.MustGenerate(tc.cfg, rand.New(rand.NewSource(tc.seed)))
+			wantH, wantU := solveObjective(t, region, tc.placer, mods)
+			rng := rand.New(rand.NewSource(tc.seed * 211))
+			for trial := 0; trial < 3; trial++ {
+				perm := permuteShapes(t, mods, rng)
+				gotH, gotU := solveObjective(t, region, tc.placer, perm)
+				if gotH != wantH || gotU != wantU {
+					t.Fatalf("trial %d: shape permutation changed objective: height %d util %v, want height %d util %v",
+						trial, gotH, gotU, wantH, wantU)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicCombined permutes modules and shapes together — the
+// exact transformation the serving layer's canonicalization relies on.
+func TestMetamorphicCombined(t *testing.T) {
+	for _, tc := range metamorphicMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			region := tc.spec.MustBuild().FullRegion()
+			mods := workload.MustGenerate(tc.cfg, rand.New(rand.NewSource(tc.seed)))
+			wantH, wantU := solveObjective(t, region, tc.placer, mods)
+			rng := rand.New(rand.NewSource(tc.seed * 307))
+			perm := permuteShapes(t, permuteModules(mods, rng), rng)
+			gotH, gotU := solveObjective(t, region, tc.placer, perm)
+			if gotH != wantH || gotU != wantU {
+				t.Fatalf("combined permutation changed objective: height %d util %v, want height %d util %v",
+					gotH, gotU, wantH, wantU)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// RequestOptions is the request-level subset of Options: the solver
+// parameters a remote caller may set on one placement request. It
+// deliberately excludes the process-local hooks (Recorder, Metrics,
+// Bound) that cannot travel over a wire and must be attached by the
+// serving side. The zero value selects the solver defaults.
+//
+// RequestOptions is plain data with a deterministic meaning, which is
+// what makes placement requests canonicalizable: two requests with
+// equal RequestOptions (and equal fabric and modules) run the same
+// search and produce the same result.
+type RequestOptions struct {
+	// Timeout bounds the optimisation (see Options.Timeout). Zero
+	// means no limit.
+	Timeout time.Duration
+	// Strategy is the branching-variable heuristic.
+	Strategy Strategy
+	// ValueOrder is the placement-value heuristic.
+	ValueOrder ValueOrder
+	// FirstSolutionOnly stops at the first complete placement.
+	FirstSolutionOnly bool
+	// StallNodes is the convergence criterion (see Options.StallNodes).
+	StallNodes int64
+	// BusRows restricts placements to boxes crossing a bus row (see
+	// Options.BusRows).
+	BusRows []int
+	// Workers enables parallel branch-and-bound (see Options.Workers).
+	Workers int
+	// StrongPropagation adds compulsory-part pruning (see
+	// Options.StrongPropagation).
+	StrongPropagation bool
+}
+
+// Options expands the request-level options into full solver Options,
+// leaving the process-local hooks unset for the caller to attach.
+func (o RequestOptions) Options() Options {
+	return Options{
+		Timeout:           o.Timeout,
+		Strategy:          o.Strategy,
+		ValueOrder:        o.ValueOrder,
+		FirstSolutionOnly: o.FirstSolutionOnly,
+		StallNodes:        o.StallNodes,
+		BusRows:           o.BusRows,
+		Workers:           o.Workers,
+		StrongPropagation: o.StrongPropagation,
+	}
+}
+
+// Validate reports the first inconsistency in the options.
+func (o RequestOptions) Validate() error {
+	if o.Timeout < 0 {
+		return fmt.Errorf("core: negative Timeout %v", o.Timeout)
+	}
+	if o.StallNodes < 0 {
+		return fmt.Errorf("core: negative StallNodes %d", o.StallNodes)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", o.Workers)
+	}
+	if o.Strategy.String() == "unknown" {
+		return fmt.Errorf("core: unknown Strategy %d", o.Strategy)
+	}
+	if o.ValueOrder.String() == "unknown" {
+		return fmt.Errorf("core: unknown ValueOrder %d", o.ValueOrder)
+	}
+	for _, r := range o.BusRows {
+		if r < 0 {
+			return fmt.Errorf("core: negative bus row %d", r)
+		}
+	}
+	return nil
+}
+
+// Strategies lists the branching strategies in declaration order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyFirstFail, StrategyLargestFirst, StrategyInputOrder}
+}
+
+// ValueOrders lists the value orderings in declaration order.
+func ValueOrders() []ValueOrder {
+	return []ValueOrder{OrderBottomLeft, OrderLexicographic}
+}
+
+// ParseStrategy converts a strategy name (as produced by
+// Strategy.String) back to the Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	for _, st := range Strategies() {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", s)
+}
+
+// ParseValueOrder converts a value-order name (as produced by
+// ValueOrder.String) back to the ValueOrder.
+func ParseValueOrder(s string) (ValueOrder, error) {
+	for _, v := range ValueOrders() {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown value order %q", s)
+}

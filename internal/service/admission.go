@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errBusy is returned by pool.Submit when the admission queue is full.
+// The HTTP layer maps it to 429 Too Many Requests: under overload the
+// daemon sheds load immediately instead of building an unbounded
+// backlog of multi-second solves.
+var errBusy = errors.New("service: admission queue full")
+
+// pool is the bounded-concurrency admission path: a fixed number of
+// worker goroutines drain a fixed-capacity job queue. Admission is
+// non-blocking — a request either takes a queue slot or is rejected
+// with errBusy — and a job whose context expires while queued is
+// skipped, so dead clients cannot occupy workers.
+type pool struct {
+	jobs    chan *poolJob
+	queued  atomic.Int64
+	running atomic.Int64
+	closing sync.Once
+	wg      sync.WaitGroup
+}
+
+type poolJob struct {
+	ctx  context.Context
+	run  func()
+	done chan struct{} // closed once run finished or the job was skipped
+	ran  bool
+}
+
+// newPool starts workers goroutines behind a queue of maxInFlight
+// slots (minimums 1 and 1).
+func newPool(workers, maxInFlight int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	p := &pool{jobs: make(chan *poolJob, maxInFlight)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.queued.Add(-1)
+		if j.ctx.Err() == nil {
+			p.running.Add(1)
+			j.run()
+			j.ran = true
+			p.running.Add(-1)
+		}
+		close(j.done)
+	}
+}
+
+// Submit enqueues fn and waits for it to finish. It returns errBusy
+// when the queue is full, ctx.Err() when the context expires before
+// fn completed, and nil once fn has run.
+func (p *pool) Submit(ctx context.Context, fn func()) error {
+	j := &poolJob{ctx: ctx, run: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- j:
+		p.queued.Add(1)
+	default:
+		return errBusy
+	}
+	select {
+	case <-j.done:
+		if !j.ran {
+			return ctx.Err()
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (p *pool) QueueDepth() int { return int(p.queued.Load()) }
+
+// InFlight returns the number of jobs currently executing.
+func (p *pool) InFlight() int { return int(p.running.Load()) }
+
+// Close stops the workers after the queued jobs drain. Submit must not
+// be called after Close.
+func (p *pool) Close() {
+	p.closing.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}

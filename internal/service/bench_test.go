@@ -1,0 +1,63 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchRequest is the paper's flagship instance: the seed-1 batch of
+// 30 generated modules with four design alternatives on the Table-I
+// fabric, solved with the benchmark suite's stall criterion. The hit
+// path still pays for JSON decode, module generation and
+// canonicalization; only the multi-second solve is amortised.
+const benchRequest = `{
+  "fabric": "virtex4-like-72x60",
+  "generate": {"seed": 1},
+  "options": {"stallNodes": 800, "timeoutMs": 30000}
+}`
+
+func benchServer(b *testing.B) (*Server, http.Handler) {
+	b.Helper()
+	s := New(Config{Workers: 1, MaxInFlight: 4})
+	b.Cleanup(s.Close)
+	return s, s.Handler()
+}
+
+func benchPlace(b *testing.B, h http.Handler, wantCache string) {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/place", bytes.NewReader([]byte(benchRequest)))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("place: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cache"); got != wantCache {
+		b.Fatalf("X-Cache = %q, want %q", got, wantCache)
+	}
+}
+
+// BenchmarkServiceCacheHit measures the full request path when the
+// canonical instance is already cached: JSON decode, canonicalization,
+// digest, LRU lookup, cached body write. Compare against
+// BenchmarkServiceColdSolve for the cache's speedup (EXPERIMENTS.md
+// pins the ratio; the acceptance bar is ≥100×).
+func BenchmarkServiceCacheHit(b *testing.B) {
+	_, h := benchServer(b)
+	benchPlace(b, h, "miss") // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPlace(b, h, "hit")
+	}
+}
+
+// BenchmarkServiceColdSolve measures the same request with the cache
+// emptied before each iteration: every request runs a real solve.
+func BenchmarkServiceColdSolve(b *testing.B) {
+	s, h := benchServer(b)
+	for i := 0; i < b.N; i++ {
+		s.cache.Reset()
+		benchPlace(b, h, "miss")
+	}
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/canon"
+)
+
+// CacheStats is a snapshot of the result cache's counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// lruCache is a fixed-capacity least-recently-used map from canonical
+// request digests to encoded response bodies. Values are the exact
+// bytes served for the original solve, which is what makes cache hits
+// byte-identical to the first response. Safe for concurrent use.
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[canon.Digest]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type lruEntry struct {
+	key  canon.Digest
+	body []byte
+}
+
+// newLRU returns a cache holding at most capacity entries (minimum 1).
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[canon.Digest]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached body for key and marks it most recently used.
+// Callers must not mutate the returned slice.
+func (c *lruCache) Get(key canon.Digest) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes its body
+// and recency.
+func (c *lruCache) Put(key canon.Digest, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Reset drops every entry but keeps the counters (benchmarks use it to
+// force cold-path solves).
+func (c *lruCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[canon.Digest]*list.Element, c.capacity)
+}
+
+// Stats snapshots the counters.
+func (c *lruCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/canon"
+)
+
+func dig(i int) canon.Digest {
+	var d canon.Digest
+	d[0] = byte(i)
+	d[1] = byte(i >> 8)
+	return d
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	c.Put(dig(1), []byte("one"))
+	c.Put(dig(2), []byte("two"))
+	if _, ok := c.Get(dig(1)); !ok { // 1 becomes most recent
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(dig(3), []byte("three")) // evicts 2, the least recently used
+	if _, ok := c.Get(dig(2)); ok {
+		t.Fatal("entry 2 survived eviction")
+	}
+	for _, i := range []int{1, 3} {
+		if got, ok := c.Get(dig(i)); !ok || string(got) != map[int]string{1: "one", 3: "three"}[i] {
+			t.Fatalf("entry %d wrong after eviction: %q ok=%v", i, got, ok)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := newLRU(2)
+	c.Put(dig(1), []byte("a"))
+	c.Put(dig(2), []byte("b"))
+	c.Put(dig(1), []byte("a2")) // refresh value and recency; no growth
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	c.Put(dig(3), []byte("c")) // 2 is now the oldest
+	if _, ok := c.Get(dig(2)); ok {
+		t.Fatal("refreshed entry was evicted instead of the oldest")
+	}
+	if got, _ := c.Get(dig(1)); string(got) != "a2" {
+		t.Fatalf("refresh lost: %q", got)
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	c := newLRU(4)
+	for i := 0; i < 4; i++ {
+		c.Put(dig(i), []byte{byte(i)})
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("len after reset = %d", c.Len())
+	}
+	if _, ok := c.Get(dig(0)); ok {
+		t.Fatal("entry survived reset")
+	}
+	// Refill past capacity: eviction bookkeeping must still work.
+	for i := 0; i < 6; i++ {
+		c.Put(dig(i), []byte{byte(i)})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len after refill = %d, want 4", c.Len())
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := newLRU(0)
+	c.Put(dig(1), []byte("x"))
+	c.Put(dig(2), []byte("y"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (capacity clamps to 1)", c.Len())
+	}
+}
+
+func TestLRUDistinctKeysKeepDistinctBodies(t *testing.T) {
+	c := newLRU(64)
+	for i := 0; i < 64; i++ {
+		c.Put(dig(i), []byte(fmt.Sprintf("body-%d", i)))
+	}
+	for i := 0; i < 64; i++ {
+		got, ok := c.Get(dig(i))
+		if !ok || string(got) != fmt.Sprintf("body-%d", i) {
+			t.Fatalf("key %d: got %q ok=%v", i, got, ok)
+		}
+	}
+}

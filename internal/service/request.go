@@ -1,0 +1,236 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/module"
+	"repro/internal/workload"
+)
+
+// PlaceRequest is the wire form of POST /v1/place. The modules are
+// given either explicitly (Modules: shapes as tile lists) or as a
+// seeded generator spec (Generate, the paper's workload model) —
+// exactly one of the two. Both forms are expanded to the same
+// canonical instance, so a generated batch and its explicit spelling
+// share one cache entry.
+type PlaceRequest struct {
+	// Fabric names a catalog device (GET /v1/fabrics lists them).
+	Fabric string `json:"fabric"`
+	// Region optionally windows the device; omitted means the full
+	// fabric.
+	Region *RectSpec `json:"region,omitempty"`
+	// Modules lists the units to place with explicit design
+	// alternatives.
+	Modules []ModuleSpec `json:"modules,omitempty"`
+	// Generate draws the module batch from the paper's seeded workload
+	// model instead of listing shapes explicitly.
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	// Options tunes the solver; zero fields take the daemon defaults.
+	Options OptionsSpec `json:"options"`
+}
+
+// RectSpec is a rectangle in region coordinates.
+type RectSpec struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+// ModuleSpec is one module: a name plus at least one shape.
+type ModuleSpec struct {
+	Name   string      `json:"name"`
+	Shapes []ShapeSpec `json:"shapes"`
+}
+
+// ShapeSpec is one design alternative as a tile list.
+type ShapeSpec struct {
+	Tiles []TileSpec `json:"tiles"`
+}
+
+// TileSpec is one tile: relative coordinates plus the resource kind
+// ("CLB", "BRAM", "DSP").
+type TileSpec struct {
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+	Kind string `json:"kind"`
+}
+
+// GenerateSpec mirrors workload.Config plus the seed.
+type GenerateSpec struct {
+	Seed         int64 `json:"seed"`
+	NumModules   int   `json:"numModules,omitempty"`
+	CLBMin       int   `json:"clbMin,omitempty"`
+	CLBMax       int   `json:"clbMax,omitempty"`
+	BRAMMin      int   `json:"bramMin,omitempty"`
+	BRAMMax      int   `json:"bramMax,omitempty"`
+	NoBRAM       bool  `json:"noBram,omitempty"`
+	DSPMax       int   `json:"dspMax,omitempty"`
+	Alternatives int   `json:"alternatives,omitempty"`
+	NoRotation   bool  `json:"noRotation,omitempty"`
+}
+
+// OptionsSpec is the wire form of core.RequestOptions.
+type OptionsSpec struct {
+	TimeoutMs         int64  `json:"timeoutMs,omitempty"`
+	StallNodes        int64  `json:"stallNodes,omitempty"`
+	Strategy          string `json:"strategy,omitempty"`
+	ValueOrder        string `json:"valueOrder,omitempty"`
+	FirstSolutionOnly bool   `json:"firstSolutionOnly,omitempty"`
+	Workers           int    `json:"workers,omitempty"`
+	BusRows           []int  `json:"busRows,omitempty"`
+	StrongPropagation bool   `json:"strongPropagation,omitempty"`
+}
+
+// maxRequestBytes bounds the request body; a 30-module batch with four
+// alternatives of ~100 tiles each is well under 1 MiB.
+const maxRequestBytes = 8 << 20
+
+// DecodeRequest parses a wire request body and expands it to the
+// canonical domain form with the daemon defaults of cfg applied
+// (cfg's zero fields take the documented Config defaults). All
+// failures are client errors (HTTP 400).
+func DecodeRequest(body io.Reader, cfg Config) (*canon.Request, error) {
+	cfg = cfg.withDefaults()
+	dec := json.NewDecoder(io.LimitReader(body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var wire PlaceRequest
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %w", err)
+	}
+	return wire.toCanon(cfg)
+}
+
+// toCanon validates the wire request and expands it into the canonical
+// domain form, applying the daemon's solver-option defaults before the
+// digest is taken (so an omitted option and its explicit default share
+// a cache entry).
+func (wire *PlaceRequest) toCanon(cfg Config) (*canon.Request, error) {
+	if wire.Fabric == "" {
+		return nil, fmt.Errorf("missing fabric")
+	}
+	if _, err := fabric.ByName(wire.Fabric); err != nil {
+		return nil, err
+	}
+	mods, err := wire.expandModules()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := wire.Options.toRequestOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	req := &canon.Request{Fabric: wire.Fabric, Modules: mods, Options: opts}
+	if wire.Region != nil {
+		if wire.Region.W <= 0 || wire.Region.H <= 0 {
+			return nil, fmt.Errorf("region %dx%d must have positive size", wire.Region.W, wire.Region.H)
+		}
+		req.Region = grid.RectXYWH(wire.Region.X, wire.Region.Y, wire.Region.W, wire.Region.H)
+	}
+	return req, nil
+}
+
+func (wire *PlaceRequest) expandModules() ([]*module.Module, error) {
+	switch {
+	case wire.Generate != nil && len(wire.Modules) > 0:
+		return nil, fmt.Errorf("modules and generate are mutually exclusive")
+	case wire.Generate != nil:
+		g := wire.Generate
+		mods, err := workload.Generate(workload.Config{
+			NumModules: g.NumModules,
+			CLBMin:     g.CLBMin, CLBMax: g.CLBMax,
+			BRAMMin: g.BRAMMin, BRAMMax: g.BRAMMax,
+			NoBRAM:       g.NoBRAM,
+			DSPMax:       g.DSPMax,
+			Alternatives: g.Alternatives,
+			NoRotation:   g.NoRotation,
+		}, rand.New(rand.NewSource(g.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		return mods, nil
+	case len(wire.Modules) > 0:
+		mods := make([]*module.Module, len(wire.Modules))
+		for i, ms := range wire.Modules {
+			m, err := ms.toModule()
+			if err != nil {
+				return nil, err
+			}
+			mods[i] = m
+		}
+		return mods, nil
+	default:
+		return nil, fmt.Errorf("request needs modules or generate")
+	}
+}
+
+func (ms *ModuleSpec) toModule() (*module.Module, error) {
+	shapes := make([]*module.Shape, len(ms.Shapes))
+	for i, ss := range ms.Shapes {
+		tiles := make([]module.Tile, len(ss.Tiles))
+		for j, ts := range ss.Tiles {
+			kind, err := fabric.ParseKind(ts.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("module %q shape %d: %w", ms.Name, i, err)
+			}
+			tiles[j] = module.Tile{At: grid.Pt(ts.X, ts.Y), Kind: kind}
+		}
+		s, err := module.NewShape(tiles)
+		if err != nil {
+			return nil, fmt.Errorf("module %q shape %d: %w", ms.Name, i, err)
+		}
+		shapes[i] = s
+	}
+	return module.NewModule(ms.Name, shapes...)
+}
+
+func (o *OptionsSpec) toRequestOptions(cfg Config) (core.RequestOptions, error) {
+	out := core.RequestOptions{
+		Timeout:           time.Duration(o.TimeoutMs) * time.Millisecond,
+		StallNodes:        o.StallNodes,
+		FirstSolutionOnly: o.FirstSolutionOnly,
+		Workers:           o.Workers,
+		BusRows:           o.BusRows,
+		StrongPropagation: o.StrongPropagation,
+	}
+	if o.TimeoutMs < 0 {
+		return out, fmt.Errorf("negative timeoutMs %d", o.TimeoutMs)
+	}
+	// An unbounded or over-long solve would pin a worker for minutes;
+	// the daemon substitutes its default and caps at its maximum.
+	if out.Timeout == 0 {
+		out.Timeout = cfg.DefaultTimeout
+	}
+	if out.Timeout > cfg.MaxTimeout {
+		out.Timeout = cfg.MaxTimeout
+	}
+	if out.StallNodes == 0 {
+		out.StallNodes = cfg.DefaultStallNodes
+	}
+	if o.Strategy != "" {
+		s, err := core.ParseStrategy(o.Strategy)
+		if err != nil {
+			return out, err
+		}
+		out.Strategy = s
+	}
+	if o.ValueOrder != "" {
+		v, err := core.ParseValueOrder(o.ValueOrder)
+		if err != nil {
+			return out, err
+		}
+		out.ValueOrder = v
+	}
+	if err := out.Validate(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

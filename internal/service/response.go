@@ -1,0 +1,85 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+)
+
+// PlaceResponse is the wire form of a /v1/place result. The body is
+// built exactly once per canonical instance — on the solving request —
+// and cached verbatim, so cache hits are byte-identical to the
+// original response (the per-request hit/miss indicator travels in the
+// X-Cache header instead). SolveMs is therefore the original solve's
+// wall time, not the serving time of this response.
+type PlaceResponse struct {
+	// Digest is the canonical instance digest (the cache key), hex.
+	Digest string `json:"digest"`
+	Fabric string `json:"fabric"`
+	// Found reports whether a complete placement exists; an infeasible
+	// instance is a valid, cacheable answer with Found=false.
+	Found       bool    `json:"found"`
+	Height      int     `json:"height"`
+	Utilization float64 `json:"utilization"`
+	Optimal     bool    `json:"optimal"`
+	Stalled     bool    `json:"stalled"`
+	Reason      string  `json:"reason"`
+	Nodes       int64   `json:"nodes"`
+	Backtracks  int64   `json:"backtracks"`
+	SolveMs     float64 `json:"solveMs"`
+	// Placements lists one entry per module in canonical (name) order.
+	// Shape indexes refer to the canonical shape order (shapes sorted
+	// by geometric key), not the order the request listed them in.
+	Placements []PlacementSpec `json:"placements,omitempty"`
+}
+
+// PlacementSpec is one placed module: chosen design alternative and
+// bounding box anchor/size in region coordinates.
+type PlacementSpec struct {
+	Module string `json:"module"`
+	Shape  int    `json:"shape"`
+	X      int    `json:"x"`
+	Y      int    `json:"y"`
+	W      int    `json:"w"`
+	H      int    `json:"h"`
+}
+
+// errorResponse is the body of every non-2xx JSON reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// buildResponse encodes the solve outcome for the canonical request.
+func buildResponse(digest canon.Digest, req *canon.Request, res *core.Result) ([]byte, error) {
+	resp := PlaceResponse{
+		Digest:      digest.String(),
+		Fabric:      req.Fabric,
+		Found:       res.Found,
+		Height:      res.Height,
+		Utilization: res.Utilization,
+		Optimal:     res.Optimal,
+		Stalled:     res.Stalled,
+		Reason:      res.Reason.String(),
+		Nodes:       res.Nodes,
+		Backtracks:  res.Backtracks,
+		SolveMs:     float64(res.Elapsed.Microseconds()) / 1e3,
+	}
+	for _, p := range res.Placements {
+		s := p.Shape()
+		resp.Placements = append(resp.Placements, PlacementSpec{
+			Module: p.Module.Name(),
+			Shape:  p.ShapeIndex,
+			X:      p.At.X,
+			Y:      p.At.Y,
+			W:      s.W(),
+			H:      s.H(),
+		})
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding response: %w", err)
+	}
+	return append(body, '\n'), nil
+}

@@ -1,0 +1,341 @@
+// Package service is the placement daemon behind cmd/placed: an
+// HTTP/JSON front end that serves core.Placer solves from a canonical
+// instance cache. Requests are canonicalized (internal/canon) so that
+// batches differing only in module or shape order share one cache
+// entry; concurrent identical requests collapse into a single solve
+// (singleflight); and a bounded worker pool with a fixed-capacity
+// admission queue sheds overload with 429 instead of queueing
+// unbounded multi-second solves.
+//
+// Endpoints:
+//
+//	POST /v1/place    solve or serve a cached placement (X-Cache: hit|miss)
+//	GET  /v1/healthz  liveness
+//	GET  /v1/stats    cache/queue/solve counters
+//	GET  /v1/fabrics  catalog of placeable devices
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// Config sizes the daemon. Zero fields take the stated defaults.
+type Config struct {
+	// Workers is the number of concurrent solver goroutines (default 2).
+	Workers int
+	// CacheEntries is the LRU capacity in canonical instances
+	// (default 1024).
+	CacheEntries int
+	// MaxInFlight bounds the admission queue: at most this many solves
+	// may be waiting for a worker before requests are rejected with
+	// 429 (default 64).
+	MaxInFlight int
+	// DefaultTimeout is the per-solve budget substituted when a request
+	// sets none (default 10s). Requests cannot opt out: an unbounded
+	// solve would pin a worker indefinitely.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-solve budget a request may ask for
+	// (default 60s).
+	MaxTimeout time.Duration
+	// QueueGrace is the extra time a solve may spend waiting for a
+	// worker before the request gives up with 504 (default 30s).
+	QueueGrace time.Duration
+	// DefaultStallNodes is the convergence criterion substituted when a
+	// request sets none (default 2000, the experiments' default).
+	DefaultStallNodes int64
+	// Registry receives the daemon's counters and histograms; nil
+	// allocates a private registry (still visible via /v1/stats).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.QueueGrace <= 0 {
+		c.QueueGrace = 30 * time.Second
+	}
+	if c.DefaultStallNodes <= 0 {
+		c.DefaultStallNodes = 2000
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the placement daemon. Create with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	cfg    Config
+	cache  *lruCache
+	flight *flightGroup
+	pool   *pool
+	start  time.Time
+
+	// solve computes one canonical instance; tests substitute stubs to
+	// probe the concurrency machinery without real solver runs.
+	solve func(*canon.Request) (*core.Result, error)
+
+	requests  *obs.Counter
+	cacheHits *obs.Counter
+	solves    *obs.Counter
+	dedups    *obs.Counter
+	rejected  *obs.Counter
+	timeouts  *obs.Counter
+	errCount  *obs.Counter
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:       cfg,
+		cache:     newLRU(cfg.CacheEntries),
+		flight:    newFlightGroup(),
+		pool:      newPool(cfg.Workers, cfg.MaxInFlight),
+		start:     time.Now(),
+		requests:  reg.Counter("service_requests_total"),
+		cacheHits: reg.Counter("service_cache_hits_total"),
+		solves:    reg.Counter("service_solves_total"),
+		dedups:    reg.Counter("service_dedup_total"),
+		rejected:  reg.Counter("service_rejected_total"),
+		timeouts:  reg.Counter("service_timeouts_total"),
+		errCount:  reg.Counter("service_solve_errors_total"),
+	}
+	s.solve = s.solvePlacement
+	return s
+}
+
+// Close stops the worker pool after draining queued solves.
+func (s *Server) Close() { s.pool.Close() }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/place", s.handlePlace)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/fabrics", s.handleFabrics)
+	return mux
+}
+
+// errSolve wraps a solver failure so the handler can distinguish a bad
+// instance (client error) from machinery errors.
+type errSolve struct{ err error }
+
+func (e errSolve) Error() string { return e.err.Error() }
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	reqT := s.cfg.Registry.Timer("service_request")
+	defer reqT.Stop()
+
+	creq, err := DecodeRequest(r.Body, s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	digest, err := creq.Digest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cache.Get(digest); ok {
+		s.cacheHits.Inc()
+		writePlacement(w, body, digest, true)
+		return
+	}
+	body, leader, err := s.flight.Do(r.Context(), digest, func() ([]byte, error) {
+		return s.solveAndCache(creq, digest)
+	})
+	switch {
+	case errors.Is(err, errBusy):
+		s.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, errors.New("admission queue full, retry later"))
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, errors.New("request timed out waiting for a solver"))
+		return
+	case err != nil:
+		var se errSolve
+		status := http.StatusInternalServerError
+		if errors.As(err, &se) {
+			// The solver rejects malformed instances (a module with no
+			// feasible position at all, inconsistent options): the
+			// request, not the daemon, is at fault.
+			status = http.StatusUnprocessableEntity
+		}
+		s.errCount.Inc()
+		writeError(w, status, err)
+		return
+	}
+	if !leader {
+		s.dedups.Inc()
+	}
+	writePlacement(w, body, digest, !leader)
+}
+
+// solveAndCache runs one canonical instance on the admission pool and
+// caches the encoded response. It runs detached from any single HTTP
+// request: waiters that give up do not cancel it, and its result
+// serves future requests.
+func (s *Server) solveAndCache(creq *canon.Request, digest canon.Digest) ([]byte, error) {
+	// Double-check the cache: a request that missed it just before a
+	// concurrent identical solve finished (and left the flight group)
+	// becomes a fresh leader here; the entry it needs is already
+	// cached, because the completed call stores the body before
+	// leaving the group.
+	if body, ok := s.cache.Get(digest); ok {
+		return body, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(),
+		s.cfg.QueueGrace+creq.Options.Timeout)
+	defer cancel()
+	var body []byte
+	var solveErr error
+	err := s.pool.Submit(ctx, func() {
+		solveT := s.cfg.Registry.Timer("service_solve")
+		defer solveT.Stop()
+		s.solves.Inc()
+		res, err := s.solve(creq)
+		if err != nil {
+			solveErr = errSolve{err}
+			return
+		}
+		body, solveErr = buildResponse(digest, creq, res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	s.cache.Put(digest, body)
+	return body, nil
+}
+
+// solvePlacement is the production solver: materialise the fabric,
+// window the region, place the canonical module set.
+func (s *Server) solvePlacement(creq *canon.Request) (*core.Result, error) {
+	dev, err := fabric.ByName(creq.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	region := dev.FullRegion()
+	if creq.Region != (grid.Rect{}) {
+		region = dev.Region(creq.Region)
+		if region.W() <= 0 || region.H() <= 0 {
+			return nil, fmt.Errorf("region %v lies outside fabric %s", creq.Region, creq.Fabric)
+		}
+	}
+	opts := creq.Options.Options()
+	opts.Metrics = s.cfg.Registry
+	return core.New(region, opts).Place(creq.Modules)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleFabrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"fabrics": fabric.Catalog()})
+}
+
+// StatsResponse is the wire form of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Requests      int64      `json:"requests"`
+	CacheHits     int64      `json:"cacheHits"`
+	DedupHits     int64      `json:"dedupHits"`
+	Solves        int64      `json:"solves"`
+	SolveErrors   int64      `json:"solveErrors"`
+	Rejected      int64      `json:"rejected"`
+	Timeouts      int64      `json:"timeouts"`
+	HitRatio      float64    `json:"hitRatio"`
+	QueueDepth    int        `json:"queueDepth"`
+	InFlight      int        `json:"inFlight"`
+	Workers       int        `json:"workers"`
+	MaxInFlight   int        `json:"maxInFlight"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// Stats snapshots the daemon counters. HitRatio counts both cache hits
+// and singleflight-deduplicated requests as hits: neither ran a solve.
+func (s *Server) Stats() StatsResponse {
+	st := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Value(),
+		CacheHits:     s.cacheHits.Value(),
+		DedupHits:     s.dedups.Value(),
+		Solves:        s.solves.Value(),
+		SolveErrors:   s.errCount.Value(),
+		Rejected:      s.rejected.Value(),
+		Timeouts:      s.timeouts.Value(),
+		QueueDepth:    s.pool.QueueDepth(),
+		InFlight:      s.pool.InFlight(),
+		Workers:       s.cfg.Workers,
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Cache:         s.cache.Stats(),
+	}
+	if st.Requests > 0 {
+		st.HitRatio = float64(st.CacheHits+st.DedupHits) / float64(st.Requests)
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// writePlacement serves a (possibly cached) placement body. The body
+// bytes are identical for every request of the same canonical
+// instance; the hit/miss distinction travels in the X-Cache header so
+// it cannot perturb the payload.
+func writePlacement(w http.ResponseWriter, body []byte, digest canon.Digest, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Placement-Digest", digest.String())
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

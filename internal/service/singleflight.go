@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/canon"
+)
+
+// flightGroup collapses concurrent duplicate work: all callers asking
+// for the same digest while a computation is in flight share its
+// outcome, so N identical requests arriving together trigger exactly
+// one solve. Unlike golang.org/x/sync/singleflight (not vendored
+// here), the computation runs on its own goroutine detached from any
+// caller's context: a waiter that gives up does not cancel the work,
+// whose result still lands in the cache for the next request.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[canon.Digest]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when body/err are final
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[canon.Digest]*flightCall{}}
+}
+
+// Do returns fn's result for key. The first caller for a key becomes
+// the leader (leader=true) and starts fn; callers arriving before fn
+// finishes share the same result with leader=false. Each caller waits
+// under its own ctx: on expiry it gets ctx.Err() while fn keeps
+// running to completion for the others.
+func (g *flightGroup) Do(ctx context.Context, key canon.Digest, fn func() ([]byte, error)) (body []byte, leader bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.body, false, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		body, err := fn()
+		g.mu.Lock()
+		c.body, c.err = body, err
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+
+	select {
+	case <-c.done:
+		return c.body, true, c.err
+	case <-ctx.Done():
+		return nil, true, ctx.Err()
+	}
+}
