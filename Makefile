@@ -57,17 +57,21 @@ lint: solverlint
 		echo "govulncheck $(GOVULNCHECK_VERSION) not installed; skipping (make tools)"; \
 	fi
 
-# Install the pinned external linters (requires network access).
+# Install the in-repo tooling plus the pinned external linters (the
+# external ones require network access).
 tools:
+	$(GO) install ./cmd/tracecat
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 check: fmt-check vet lint build race
 
-# The observability acceptance benchmark: recording disabled must show
-# the baseline allocation profile.
+# The observability acceptance benchmarks: recording disabled must show
+# the baseline allocation profile, and the disabled span path must
+# report 0 allocs/op.
 bench:
 	$(GO) test -run xxx -bench BenchmarkSearch -benchmem ./internal/csp
+	$(GO) test -run xxx -bench 'BenchmarkSpan' -benchmem ./internal/obs
 
 # Native Go fuzzing beyond the committed corpus. Each target gets
 # FUZZTIME of mutation; new crashers land in testdata/fuzz/.

@@ -19,14 +19,21 @@
 // even with modules or shapes listed in a different order — returns
 // the byte-identical body from the cache (X-Cache: hit). /v1/healthz
 // answers liveness probes, /v1/stats reports cache hit ratio, queue
-// depth and in-flight solves, and /v1/fabrics lists the device
-// catalog.
+// depth, in-flight solves and rolling SLO attainment, and /v1/fabrics
+// lists the device catalog.
+//
+// Every request is traced: the response carries an X-Trace-Id header,
+// one JSON access-log line per request goes to -access-log (stdout by
+// default), /debug/traces dumps the recent and slowest request
+// traces, and -trace streams the span/solver event JSONL that
+// cmd/tracecat renders into per-trace waterfalls.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +53,10 @@ type cliOpts struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	metricsPath    string
+	tracePath      string
+	accessLog      string
+	sloLatency     time.Duration
+	sloWindow      time.Duration
 }
 
 func main() {
@@ -57,6 +68,10 @@ func main() {
 	flag.DurationVar(&o.defaultTimeout, "default-timeout", 10*time.Second, "per-solve budget when the request sets none")
 	flag.DurationVar(&o.maxTimeout, "max-timeout", time.Minute, "cap on the per-solve budget a request may ask for")
 	flag.StringVar(&o.metricsPath, "metrics", "", "dump metrics at exit: - for a summary table, a path for Prometheus text format")
+	flag.StringVar(&o.tracePath, "trace", "", "stream span and solver events as JSONL to this path (- for stdout, feed to tracecat)")
+	flag.StringVar(&o.accessLog, "access-log", "-", "write one JSON line per request to this path (- for stdout, empty to disable)")
+	flag.DurationVar(&o.sloLatency, "slo-latency", 500*time.Millisecond, "request-latency objective for /v1/stats SLO accounting")
+	flag.DurationVar(&o.sloWindow, "slo-window", time.Hour, "headline SLO attainment window (max 1h)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "placed:", err)
@@ -65,7 +80,7 @@ func main() {
 }
 
 func run(o cliOpts) (err error) {
-	session, err := obs.Start(obs.Config{MetricsPath: o.metricsPath})
+	session, err := obs.Start(obs.Config{MetricsPath: o.metricsPath, TracePath: o.tracePath})
 	if err != nil {
 		return err
 	}
@@ -79,6 +94,25 @@ func run(o cliOpts) (err error) {
 		reg = obs.NewRegistry()
 	}
 
+	// The tracer always runs: the in-memory recent/slowest rings behind
+	// /debug/traces are cheap, and the span JSONL stream only flows
+	// when -trace opened a sink.
+	tracer := obs.NewTracer(obs.TracerConfig{Recorder: session.Recorder})
+
+	var accessLog io.Writer
+	switch o.accessLog {
+	case "":
+	case "-":
+		accessLog = os.Stdout
+	default:
+		f, ferr := os.Create(o.accessLog)
+		if ferr != nil {
+			return fmt.Errorf("access log: %w", ferr)
+		}
+		defer f.Close()
+		accessLog = f
+	}
+
 	svc := service.New(service.Config{
 		Workers:        o.workers,
 		CacheEntries:   o.cacheEntries,
@@ -86,6 +120,10 @@ func run(o cliOpts) (err error) {
 		DefaultTimeout: o.defaultTimeout,
 		MaxTimeout:     o.maxTimeout,
 		Registry:       reg,
+		Tracer:         tracer,
+		AccessLog:      accessLog,
+		SLOLatency:     o.sloLatency,
+		SLOWindow:      o.sloWindow,
 	})
 	defer svc.Close()
 

@@ -135,6 +135,90 @@ func place(t *testing.T, base string, req []byte) (body []byte, cache string) {
 	return body, resp.Header.Get("X-Cache")
 }
 
+// TestDaemonTracing drives the full observability round trip: a traced
+// request returns X-Trace-Id, shows up in /debug/traces and the access
+// log, and its spans land in the -trace JSONL stream.
+func TestDaemonTracing(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/spans.jsonl"
+	accessPath := dir + "/access.log"
+	base, done := startDaemon(t, cliOpts{
+		workers:        2,
+		cacheEntries:   64,
+		maxInFlight:    16,
+		defaultTimeout: 20 * time.Second,
+		maxTimeout:     30 * time.Second,
+		tracePath:      tracePath,
+		accessLog:      accessPath,
+		sloLatency:     time.Millisecond,
+		sloWindow:      time.Minute,
+	})
+
+	req, err := os.ReadFile("testdata/smoke-request.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/place", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("place: status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if len(traceID) != 32 {
+		t.Fatalf("X-Trace-Id = %q, want 32-hex", traceID)
+	}
+
+	dbg, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := io.ReadAll(dbg.Body)
+	dbg.Body.Close()
+	for _, want := range []string{traceID, `"solve"`, `"queue_wait"`, `"nodes"`} {
+		if !bytes.Contains(dump, []byte(want)) {
+			t.Fatalf("/debug/traces missing %s: %s", want, dump)
+		}
+	}
+
+	stats, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBody, _ := io.ReadAll(stats.Body)
+	stats.Body.Close()
+	for _, want := range []string{`"slo"`, `"latencyObjectiveMs":1`, `"windows"`} {
+		if !bytes.Contains(statsBody, []byte(want)) {
+			t.Fatalf("stats missing %s: %s", want, statsBody)
+		}
+	}
+
+	if err := sigterm(t, done); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+
+	access, err := os.ReadFile(accessPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(access, []byte(traceID)) || !bytes.Contains(access, []byte(`"path":"/v1/place"`)) {
+		t.Fatalf("access log missing the request: %s", access)
+	}
+
+	spans, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind":"span"`, traceID, `"span":"solve"`} {
+		if !bytes.Contains(spans, []byte(want)) {
+			t.Fatalf("span stream missing %s", want)
+		}
+	}
+}
+
 func TestRunBadAddr(t *testing.T) {
 	if err := run(cliOpts{addr: "256.0.0.1:http-nope"}); err == nil {
 		t.Fatal("bad listen address accepted")

@@ -32,12 +32,17 @@ var scopes = map[string][]string{
 	// Determinism matters on the search and propagation call paths —
 	// kernel, geometric propagators, placer — and in canonicalization,
 	// where a wandering digest would silently split or alias cache
-	// entries. Workload/netlist generators and experiment drivers are
-	// deliberately seeded-random.
-	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/canon"},
+	// entries. The span-recording layer in internal/obs sits on those
+	// same call paths (per-request traces wrap every solve), so it is
+	// held to the same bar; its deliberate uses of wall-clock time and
+	// crypto/rand ids carry explicit allow pragmas. Workload/netlist
+	// generators and experiment drivers are deliberately seeded-random.
+	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/canon", "internal/obs"},
 	// The zero-alloc-when-disabled contract covers the solver hot
-	// paths instrumented in PR 1.
-	"obsgate": {"internal/csp", "internal/geost", "internal/core"},
+	// paths instrumented in PR 1 and the request-tracing span model:
+	// span emission must stay nil-guarded so a tracerless daemon pays
+	// nothing.
+	"obsgate": {"internal/csp", "internal/geost", "internal/core", "internal/obs"},
 	// Options/OptionError validation lives in the csp kernel.
 	"optvalidate": {"internal/csp"},
 	// Library packages must not panic undocumented; cmd/ and examples/

@@ -15,10 +15,12 @@ func TestInScope(t *testing.T) {
 		{"clonecomplete", "repro/internal/geost", true},
 		{"clonecomplete", "repro/internal/workload", false},
 		{"nondeterminism", "repro/internal/core", true},
+		{"nondeterminism", "repro/internal/obs", true},
 		{"nondeterminism", "repro/internal/netlist", false},
 		{"nondeterminism", "repro/internal/experiments", false},
 		{"obsgate", "repro/internal/csp", true},
-		{"obsgate", "repro/internal/obs", false},
+		{"obsgate", "repro/internal/obs", true},
+		{"obsgate", "repro/internal/service", false},
 		{"optvalidate", "repro/internal/csp", true},
 		{"optvalidate", "repro/internal/core", false},
 		{"nakedpanic", "repro/internal/grid", true},

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleStream is two traces interleaved with solver events, the way a
+// real placed -trace stream looks. Trace aaaa… is the slow one (root
+// 10ms), bbbb… the fast one (root 2ms).
+const sampleStream = `{"t":"2026-08-08T12:00:00Z","kind":"branch","depth":3}
+{"t":"2026-08-08T12:00:00Z","kind":"span","trace":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa","span":"queue_wait","span_id":2,"parent":1,"start_ms":0.1,"dur_ms":1.0}
+{"t":"2026-08-08T12:00:00Z","kind":"span","trace":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa","span":"solve","span_id":3,"parent":1,"start_ms":1.2,"dur_ms":8.0,"attrs":"nodes=42"}
+{"t":"2026-08-08T12:00:00Z","kind":"prune","removed":5}
+{"t":"2026-08-08T12:00:00Z","kind":"span","trace":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa","span":"request","span_id":1,"start_ms":0,"dur_ms":10.0}
+{"t":"2026-08-08T12:00:01Z","kind":"span","trace":"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb","span":"cache_lookup","span_id":2,"parent":1,"start_ms":0.1,"dur_ms":0.5,"attrs":"hit=true"}
+{"t":"2026-08-08T12:00:01Z","kind":"span","trace":"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb","span":"request","span_id":1,"start_ms":0,"dur_ms":2.0}
+not json at all
+`
+
+func TestRunRendersWaterfallAndAggregate(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 5, strings.NewReader(sampleStream)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+
+	// Both traces render, slowest first.
+	ia := strings.Index(s, "trace aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	ib := strings.Index(s, "trace bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb")
+	if ia < 0 || ib < 0 {
+		t.Fatalf("missing trace headers:\n%s", s)
+	}
+	if ia > ib {
+		t.Fatalf("traces not sorted slowest first:\n%s", s)
+	}
+	if !strings.Contains(s, "10.00ms, 3 spans") {
+		t.Fatalf("slow trace header wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "nodes=42") {
+		t.Fatalf("span attrs dropped:\n%s", s)
+	}
+
+	// Aggregate table: solve has 8ms self, request self = (10-9)+(2-0.5)
+	// = 2.5ms, roots total 12ms.
+	if !strings.Contains(s, "span") || !strings.Contains(s, "%crit") {
+		t.Fatalf("aggregate header missing:\n%s", s)
+	}
+	for _, want := range []string{"solve", "request", "queue_wait", "cache_lookup"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("aggregate row %q missing:\n%s", want, s)
+		}
+	}
+	// solve: count 1, total 8ms, self 8ms, 8/12 = 66.7% of root time.
+	solveLine := lineWith(t, s, "solve")
+	for _, want := range []string{"1", "8.00ms", "66.7%"} {
+		if !strings.Contains(solveLine, want) {
+			t.Fatalf("solve row missing %q: %q", want, solveLine)
+		}
+	}
+}
+
+// lineWith returns the first line whose first field is name.
+func lineWith(t *testing.T, s, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"\t") {
+			return line
+		}
+	}
+	t.Fatalf("no line for %q in:\n%s", name, s)
+	return ""
+}
+
+func TestRunLimitsTraces(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 1, strings.NewReader(sampleStream)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "trace aaaa") {
+		t.Fatalf("slowest trace not rendered:\n%s", s)
+	}
+	if strings.Contains(s, "trace bbbb") {
+		t.Fatalf("-n 1 rendered more than one trace:\n%s", s)
+	}
+	if !strings.Contains(s, "1 more traces not rendered") {
+		t.Fatalf("truncation note missing:\n%s", s)
+	}
+	// The aggregate still covers every trace.
+	if !strings.Contains(s, "cache_lookup") {
+		t.Fatalf("aggregate dropped unrendered traces:\n%s", s)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 5, strings.NewReader("")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no span events") {
+		t.Fatalf("empty input output: %q", out.String())
+	}
+}
+
+func TestRunMergesMultipleReaders(t *testing.T) {
+	a := `{"kind":"span","trace":"cccccccccccccccccccccccccccccccc","span":"request","span_id":1,"start_ms":0,"dur_ms":1.0}` + "\n"
+	b := `{"kind":"span","trace":"cccccccccccccccccccccccccccccccc","span":"solve","span_id":2,"parent":1,"start_ms":0.2,"dur_ms":0.5}` + "\n"
+	var out bytes.Buffer
+	if err := run(&out, 5, strings.NewReader(a), strings.NewReader(b)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1.00ms, 2 spans") {
+		t.Fatalf("readers not merged into one trace:\n%s", out.String())
+	}
+}
+
+// TestBarGeometry pins the proportional bar: a span covering the whole
+// trace fills the bar; a tiny one still gets one cell.
+func TestBarGeometry(t *testing.T) {
+	full := bar(0, 10, 10)
+	if strings.Count(full, "█") != barWidth {
+		t.Fatalf("full-extent bar not full: %q", full)
+	}
+	tiny := bar(9.99, 0.0001, 10)
+	if strings.Count(tiny, "█") != 1 {
+		t.Fatalf("tiny span bar: %q", tiny)
+	}
+	if empty := bar(0, 0, 0); strings.Count(empty, "█") != 0 {
+		t.Fatalf("zero-total bar: %q", empty)
+	}
+}

@@ -12,6 +12,8 @@
 // call, nothing more.
 package obs
 
+import "time"
+
 // EventKind enumerates the structured solver events.
 type EventKind uint8
 
@@ -36,6 +38,10 @@ const (
 	// KindIncumbent is an improving solution during branch-and-bound:
 	// Objective is the new best value, Nodes the nodes explored so far.
 	KindIncumbent
+	// KindSpan is one completed tracing span (see Trace/Span): a named
+	// interval of a request-scoped trace, with parent link and typed
+	// attributes flattened into Attrs.
+	KindSpan
 )
 
 // String names the kind as it appears in the JSONL trace.
@@ -55,6 +61,8 @@ func (k EventKind) String() string {
 		return "solution"
 	case KindIncumbent:
 		return "incumbent"
+	case KindSpan:
+		return "span"
 	}
 	return "unknown"
 }
@@ -74,6 +82,17 @@ type Event struct {
 	Objective int    // KindIncumbent/KindSolution: objective value
 	Nodes     int64  // KindIncumbent: nodes explored when found
 	Worker    int    // parallel search: 1-based worker id (0 = sequential)
+
+	// Span fields (KindSpan only). Unlike solver events, spans carry
+	// their own timing: a span's start offset and duration are its
+	// payload, stamped by the span lifecycle, not sink bookkeeping.
+	Trace  string        // KindSpan: 128-bit trace id, hex
+	Span   string        // KindSpan: span name
+	SpanID int           // KindSpan: span id within the trace (root = 1)
+	Parent int           // KindSpan: parent span id (0 = none)
+	Offset time.Duration // KindSpan: span start offset from trace start
+	Dur    time.Duration // KindSpan: span duration
+	Attrs  string        // KindSpan: space-separated "key=value" pairs
 }
 
 // Recorder receives solver events. Implementations must be safe for use

@@ -147,6 +147,7 @@ func (r *Registry) Timer(name string) *Timer {
 	if r == nil {
 		return nil
 	}
+	//solverlint:allow nondeterminism timers measure wall-clock latency for telemetry; no search decision reads them
 	return &Timer{h: r.Histogram(name + "_seconds"), start: time.Now()}
 }
 
@@ -156,6 +157,7 @@ func (t *Timer) Stop() time.Duration {
 	if t == nil {
 		return 0
 	}
+	//solverlint:allow nondeterminism timers measure wall-clock latency for telemetry; no search decision reads them
 	d := time.Since(t.start)
 	t.h.Observe(d.Seconds())
 	return d

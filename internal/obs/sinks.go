@@ -37,17 +37,26 @@ type jsonEvent struct {
 	Objective int     `json:"objective,omitempty"`
 	Nodes     int64   `json:"nodes,omitempty"`
 	Worker    int     `json:"worker,omitempty"`
+	Trace     string  `json:"trace,omitempty"`
+	Span      string  `json:"span,omitempty"`
+	SpanID    int     `json:"span_id,omitempty"`
+	Parent    int     `json:"parent,omitempty"`
+	StartMs   float64 `json:"start_ms,omitempty"`
+	DurMs     float64 `json:"dur_ms,omitempty"`
+	Attrs     string  `json:"attrs,omitempty"`
 }
 
 // NewJSONL returns a JSONL sink over w.
 func NewJSONL(w io.Writer) *JSONL {
 	bw := bufio.NewWriterSize(w, 1<<16)
+	//solverlint:allow nondeterminism the stream epoch stamps event lines for humans; the solver never reads it back
 	return &JSONL{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
 }
 
 // Record implements Recorder.
 func (j *JSONL) Record(e Event) {
 	je := jsonEvent{
+		//solverlint:allow nondeterminism event timestamps are output-only telemetry; no search decision reads them
 		TMs:       float64(time.Since(j.start).Microseconds()) / 1000,
 		Kind:      e.Kind.String(),
 		Phase:     e.Phase,
@@ -59,6 +68,13 @@ func (j *JSONL) Record(e Event) {
 		Objective: e.Objective,
 		Nodes:     e.Nodes,
 		Worker:    e.Worker,
+		Trace:     e.Trace,
+		Span:      e.Span,
+		SpanID:    e.SpanID,
+		Parent:    e.Parent,
+		StartMs:   float64(e.Offset.Microseconds()) / 1000,
+		DurMs:     float64(e.Dur.Microseconds()) / 1000,
+		Attrs:     e.Attrs,
 	}
 	j.mu.Lock()
 	// Encoding errors surface at Flush; a trace must never abort a solve.
@@ -171,26 +187,32 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Lock()
 	counters := make([]string, 0, len(r.counters))
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n := range r.counters {
 		counters = append(counters, n)
 	}
 	gauges := make([]string, 0, len(r.gauges))
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n := range r.gauges {
 		gauges = append(gauges, n)
 	}
 	hists := make([]string, 0, len(r.hists))
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n := range r.hists {
 		hists = append(hists, n)
 	}
 	cv := map[string]int64{}
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n, c := range r.counters {
 		cv[n] = c.Value()
 	}
 	gv := map[string]float64{}
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n, g := range r.gauges {
 		gv[n] = g.Value()
 	}
 	hv := map[string]histSnapshot{}
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n, h := range r.hists {
 		hv[n] = h.snapshot()
 	}
@@ -267,9 +289,11 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		val  string
 	}
 	var scalars []kv
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n, c := range r.counters {
 		scalars = append(scalars, kv{n, fmt.Sprintf("%d", c.Value())})
 	}
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n, g := range r.gauges {
 		scalars = append(scalars, kv{n, formatFloat(g.Value())})
 	}
@@ -278,6 +302,7 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		s    histSnapshot
 	}
 	var hrows []hrow
+	//solverlint:allow nondeterminism keys are collected then sorted before rendering; iteration order never escapes
 	for n, h := range r.hists {
 		hrows = append(hrows, hrow{n, h.snapshot()})
 	}

@@ -1,0 +1,527 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-scoped tracing layer: a Trace is one
+// request's tree of timed Spans, minted by a Tracer that retains
+// bounded rings of the most recent and the slowest finished traces (in
+// the spirit of golang.org/x/net/trace) and forwards every completed
+// span to the existing Recorder/sink machinery as a KindSpan event.
+//
+// The layer follows the package's zero-cost-when-disabled contract
+// end to end: a nil *Tracer mints nil *Trace values, and every Trace
+// and Span method is a no-op on a nil receiver, so instrumentation
+// sites need no guards and allocate nothing when tracing is off.
+
+// TraceID is a 128-bit trace identifier, rendered as 32 hex digits
+// (the W3C trace-context format).
+type TraceID [16]byte
+
+// NewTraceID draws a random trace id. The randomness here is identity,
+// not behaviour: ids never influence any solver or serving decision.
+func NewTraceID() TraceID {
+	var id TraceID
+	// crypto/rand.Read does not fail on supported platforms; on a
+	// hypothetical failure the zero id still traces, just less uniquely.
+	_, _ = rand.Read(id[:])
+	return id
+}
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is all zero (the invalid id).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// ParseTraceID parses the 32-hex-digit form; ok is false for any other
+// input, including the all-zero id.
+func ParseTraceID(s string) (id TraceID, ok bool) {
+	if len(s) != 2*len(id) {
+		return id, false
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return TraceID{}, false
+	}
+	copy(id[:], b)
+	return id, !id.IsZero()
+}
+
+// attrKind discriminates the Attr payload.
+type attrKind uint8
+
+const (
+	attrStr attrKind = iota
+	attrInt
+	attrBool
+	attrFloat
+	attrDur
+)
+
+// Attr is one typed span attribute. Construct with String, Int, Bool,
+// Float or Duration.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// String builds a string-valued attribute.
+func String(key, v string) Attr { return Attr{Key: key, kind: attrStr, s: v} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, i: v} }
+
+// Bool builds a boolean-valued attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// Float builds a float-valued attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
+
+// Duration builds a duration-valued attribute.
+func Duration(key string, d time.Duration) Attr {
+	return Attr{Key: key, kind: attrDur, i: int64(d)}
+}
+
+// Value renders the attribute value as text.
+func (a Attr) Value() string {
+	switch a.kind {
+	case attrInt:
+		return strconv.FormatInt(a.i, 10)
+	case attrBool:
+		if a.i != 0 {
+			return "true"
+		}
+		return "false"
+	case attrFloat:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	case attrDur:
+		return time.Duration(a.i).String()
+	}
+	return a.s
+}
+
+// encodeAttrs flattens attrs into the Event.Attrs wire form:
+// space-separated key=value pairs in attachment order.
+func encodeAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value())
+	}
+	return b.String()
+}
+
+// TracerConfig sizes a Tracer. Zero fields take the stated defaults.
+type TracerConfig struct {
+	// Recorder receives one KindSpan event per completed span (nil
+	// keeps spans in the rings only).
+	Recorder Recorder
+	// Recent is the capacity of the most-recent-traces ring
+	// (default 64).
+	Recent int
+	// Slowest is the capacity of the slowest-traces ring (default 16).
+	Slowest int
+}
+
+// Tracer mints request-scoped traces and retains bounded rings of the
+// most recent and the slowest finished ones. A nil *Tracer is the
+// disabled tracer: New returns a nil *Trace whose span operations are
+// all no-ops, so callers never guard.
+type Tracer struct {
+	rec Recorder
+
+	mu      sync.Mutex
+	recent  []TraceSummary // ring, position recentN%cap
+	recentN int            // traces filed so far
+	slowest []TraceSummary // sorted by DurMs descending, len <= slowCap
+	slowCap int
+}
+
+// NewTracer returns a tracer with the given sink and ring capacities.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Recent <= 0 {
+		cfg.Recent = 64
+	}
+	if cfg.Slowest <= 0 {
+		cfg.Slowest = 16
+	}
+	return &Tracer{
+		rec:     cfg.Recorder,
+		recent:  make([]TraceSummary, 0, cfg.Recent),
+		slowCap: cfg.Slowest,
+	}
+}
+
+// New starts a trace with a fresh random id; name labels the root span.
+// Nil-safe: a nil tracer returns a nil trace.
+func (tr *Tracer) New(name string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	return tr.NewWithID(NewTraceID(), name)
+}
+
+// NewWithID starts a trace under a caller-provided id (e.g. one
+// propagated from an upstream system). Nil-safe.
+func (tr *Tracer) NewWithID(id TraceID, name string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	//solverlint:allow nondeterminism trace start timestamps are reporting-only; no solver or serving decision reads them
+	t := &Trace{id: id, tracer: tr, start: time.Now()}
+	t.root = t.newSpan(name, 0)
+	return t
+}
+
+// file inserts a finished trace into both rings.
+func (tr *Tracer) file(ts TraceSummary) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.recent) < cap(tr.recent) {
+		tr.recent = append(tr.recent, ts)
+	} else {
+		tr.recent[tr.recentN%cap(tr.recent)] = ts
+	}
+	tr.recentN++
+
+	pos := sort.Search(len(tr.slowest), func(i int) bool { return tr.slowest[i].DurMs < ts.DurMs })
+	if pos >= tr.slowCap {
+		return
+	}
+	tr.slowest = append(tr.slowest, TraceSummary{})
+	copy(tr.slowest[pos+1:], tr.slowest[pos:])
+	tr.slowest[pos] = ts
+	if len(tr.slowest) > tr.slowCap {
+		tr.slowest = tr.slowest[:tr.slowCap]
+	}
+}
+
+// TracerSnapshot is the wire form of a ring dump (GET /debug/traces):
+// the most recent finished traces, newest first, and the slowest,
+// slowest first.
+type TracerSnapshot struct {
+	Recent  []TraceSummary `json:"recent"`
+	Slowest []TraceSummary `json:"slowest"`
+}
+
+// Snapshot copies both rings. Nil-safe: a nil tracer yields empty
+// (non-nil) slices.
+func (tr *Tracer) Snapshot() TracerSnapshot {
+	snap := TracerSnapshot{Recent: []TraceSummary{}, Slowest: []TraceSummary{}}
+	if tr == nil {
+		return snap
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := len(tr.recent)
+	for i := 0; i < n; i++ {
+		snap.Recent = append(snap.Recent, tr.recent[(tr.recentN-1-i)%n])
+	}
+	snap.Slowest = append(snap.Slowest, tr.slowest...)
+	return snap
+}
+
+// Trace is one request's tree of spans. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Trace struct {
+	id     TraceID
+	tracer *Tracer
+	start  time.Time
+
+	mu       sync.Mutex
+	spans    []*Span
+	nextID   int
+	root     *Span
+	finished bool
+}
+
+// ID returns the trace id (zero on a nil trace).
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// StartSpan opens a child of the root span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, t.root.id)
+}
+
+func (t *Trace) newSpan(name string, parent int) *Span {
+	t.mu.Lock()
+	t.nextID++
+	//solverlint:allow nondeterminism span timestamps are reporting-only; no solver or serving decision reads them
+	sp := &Span{trace: t, id: t.nextID, parent: parent, name: name, start: time.Now()}
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Finish ends the root span and files the trace into the tracer's
+// recent and slowest rings, returning the root duration. Spans still
+// running — detached work owned by this request, e.g. a singleflight
+// leader's solve outliving its HTTP request — appear in the filed
+// summary marked unended; their KindSpan event is still emitted when
+// they eventually end. Only the first Finish files; later calls are
+// no-ops returning the root duration.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	d := t.root.End()
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return d
+	}
+	t.finished = true
+	ts := t.summaryLocked()
+	t.mu.Unlock()
+	t.tracer.file(ts)
+	return d
+}
+
+// summaryLocked snapshots the trace; t.mu must be held.
+func (t *Trace) summaryLocked() TraceSummary {
+	ts := TraceSummary{
+		TraceID: t.id.String(),
+		Name:    t.root.name,
+		Start:   t.start,
+		DurMs:   durMs(t.root.dur),
+		Spans:   make([]SpanSummary, 0, len(t.spans)),
+	}
+	for _, sp := range t.spans {
+		ss := SpanSummary{
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Name:    sp.name,
+			StartMs: durMs(sp.start.Sub(t.start)),
+			DurMs:   durMs(sp.dur),
+			Ended:   sp.ended,
+		}
+		if len(sp.attrs) > 0 {
+			ss.Attrs = make(map[string]string, len(sp.attrs))
+			for _, a := range sp.attrs {
+				ss.Attrs[a.Key] = a.Value()
+			}
+		}
+		ts.Spans = append(ts.Spans, ss)
+	}
+	return ts
+}
+
+// TraceSummary is an immutable snapshot of a finished trace.
+type TraceSummary struct {
+	TraceID string        `json:"traceId"`
+	Name    string        `json:"name"`
+	Start   time.Time     `json:"start"`
+	DurMs   float64       `json:"durMs"`
+	Spans   []SpanSummary `json:"spans"`
+}
+
+// SpanSummary is one span of a TraceSummary. Attrs render as text;
+// encoding/json sorts the keys, keeping dumps deterministic.
+type SpanSummary struct {
+	ID      int               `json:"id"`
+	Parent  int               `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartMs float64           `json:"startMs"`
+	DurMs   float64           `json:"durMs"`
+	Ended   bool              `json:"ended"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Span is one timed interval of a trace. Mutable state is guarded by
+// the owning trace's lock; all methods are no-ops on a nil receiver.
+type Span struct {
+	trace  *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+
+	// guarded by trace.mu
+	dur   time.Duration
+	ended bool
+	attrs []Attr
+}
+
+// StartChild opens a sub-span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.trace.newSpan(name, s.id)
+}
+
+// SetAttrs appends typed attributes to the span.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.trace.mu.Unlock()
+}
+
+// End closes the span, emits its KindSpan event to the tracer's
+// recorder, and returns its duration. End is idempotent: a second call
+// returns the recorded duration without re-emitting.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	t := s.trace
+	t.mu.Lock()
+	if s.ended {
+		d := s.dur
+		t.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	//solverlint:allow nondeterminism span durations are reporting-only; no solver or serving decision reads them
+	s.dur = time.Since(s.start)
+	d := s.dur
+	attrs := encodeAttrs(s.attrs)
+	t.mu.Unlock()
+	if rec := t.tracer.rec; rec != nil {
+		rec.Record(Event{
+			Kind:   KindSpan,
+			Trace:  t.id.String(),
+			Span:   s.name,
+			SpanID: s.id,
+			Parent: s.parent,
+			Offset: s.start.Sub(t.start),
+			Dur:    d,
+			Attrs:  attrs,
+		})
+	}
+	return d
+}
+
+// Context carriage. Traces and spans travel down a request path via
+// context.Context so layers that never see each other (HTTP handler,
+// admission pool, solver adapter) agree on the owning request.
+
+type traceCtxKey struct{}
+type spanCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying t (ctx unchanged when t is
+// nil, so disabled tracing adds no context allocation).
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// ContextWithSpan returns ctx carrying s (ctx unchanged when s is nil).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SpanStats is a Recorder that aggregates a solver event stream into
+// per-request counters, attributing search work to the one request
+// whose solve emitted it. Pass a fresh SpanStats as the solver
+// Options.Recorder for one solve, then AttachTo the request's solve
+// span. Safe for concurrent Record calls (parallel search workers).
+type SpanStats struct {
+	branches     atomic.Int64
+	backtracks   atomic.Int64
+	propagations atomic.Int64
+	prunes       atomic.Int64
+	prunedValues atomic.Int64
+	solutions    atomic.Int64
+	incumbents   atomic.Int64
+}
+
+// Record implements Recorder.
+func (s *SpanStats) Record(e Event) {
+	switch e.Kind {
+	case KindBranch:
+		s.branches.Add(1)
+	case KindBacktrack:
+		s.backtracks.Add(1)
+	case KindPropagate:
+		s.propagations.Add(1)
+	case KindPrune:
+		s.prunes.Add(1)
+		s.prunedValues.Add(int64(e.Removed))
+	case KindSolution:
+		s.solutions.Add(1)
+	case KindIncumbent:
+		s.incumbents.Add(1)
+	}
+}
+
+// AttachTo flattens the counters onto sp as typed attributes (branch
+// events are the solver's node count). Nil-safe on both sides.
+func (s *SpanStats) AttachTo(sp *Span) {
+	if s == nil || sp == nil {
+		return
+	}
+	sp.SetAttrs(
+		Int("nodes", s.branches.Load()),
+		Int("backtracks", s.backtracks.Load()),
+		Int("propagations", s.propagations.Load()),
+		Int("prunes", s.prunes.Load()),
+		Int("pruned_values", s.prunedValues.Load()),
+		Int("solutions", s.solutions.Load()),
+		Int("incumbents", s.incumbents.Load()),
+	)
+}

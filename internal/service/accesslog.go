@@ -1,0 +1,56 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// AccessRecord is one structured access-log line: everything needed to
+// correlate a single /v1/place request with its trace (X-Trace-Id),
+// its cache entry (digest), and the work it caused (queue wait, solve
+// time). Cache is one of "hit" (LRU), "dedup" (singleflight waiter),
+// "miss" (this request solved), or "none" (no placement was served).
+type AccessRecord struct {
+	Time    string  `json:"time"`
+	TraceID string  `json:"traceId,omitempty"`
+	Method  string  `json:"method"`
+	Path    string  `json:"path"`
+	Status  int     `json:"status"`
+	DurMs   float64 `json:"durMs"`
+	Digest  string  `json:"digest,omitempty"`
+	Cache   string  `json:"cache"`
+	QueueMs float64 `json:"queueMs"`
+	SolveMs float64 `json:"solveMs"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// accessLogger serialises one JSON object per request onto w. Lines
+// are marshalled outside the lock and written whole under it, so
+// concurrent handlers cannot interleave bytes. A nil logger is the
+// disabled logger; log is a no-op on it.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{w: w}
+}
+
+func (l *accessLogger) log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // a log line must never fail a request
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+}

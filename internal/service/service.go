@@ -7,12 +7,21 @@
 // admission queue sheds overload with 429 instead of queueing
 // unbounded multi-second solves.
 //
+// Every /v1/place request is traced end to end when a Tracer is
+// configured: canonicalization, cache lookup, singleflight role,
+// admission-queue wait and the solve itself become spans of one
+// request-scoped trace (internal/obs), the solver's counters are
+// attributed to the owning request's solve span, the trace id travels
+// back in the X-Trace-Id header, one JSON access-log line is emitted
+// per request, and rolling SLO attainment is reported by /v1/stats.
+//
 // Endpoints:
 //
-//	POST /v1/place    solve or serve a cached placement (X-Cache: hit|miss)
-//	GET  /v1/healthz  liveness
-//	GET  /v1/stats    cache/queue/solve counters
-//	GET  /v1/fabrics  catalog of placeable devices
+//	POST /v1/place      solve or serve a cached placement (X-Cache: hit|miss)
+//	GET  /v1/healthz    liveness
+//	GET  /v1/stats      cache/queue/solve counters plus SLO attainment
+//	GET  /v1/fabrics    catalog of placeable devices
+//	GET  /debug/traces  recent and slowest request traces
 package service
 
 import (
@@ -20,7 +29,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/canon"
@@ -57,6 +68,19 @@ type Config struct {
 	// Registry receives the daemon's counters and histograms; nil
 	// allocates a private registry (still visible via /v1/stats).
 	Registry *obs.Registry
+	// Tracer mints the request-scoped traces; nil disables tracing
+	// (no spans, no X-Trace-Id header) at zero per-request cost.
+	Tracer *obs.Tracer
+	// AccessLog receives one JSON line per /v1/place request; nil
+	// disables access logging.
+	AccessLog io.Writer
+	// SLOLatency is the request-latency objective for SLO accounting
+	// (default 500ms).
+	SLOLatency time.Duration
+	// SLOWindow is the headline SLO attainment window reported by
+	// /v1/stats (default 1h, clamped to [1s, 1h]; the 1m/5m/1h
+	// standard windows are always reported alongside).
+	SLOWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,21 +108,34 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = 500 * time.Millisecond
+	}
+	if c.SLOWindow <= 0 || c.SLOWindow > time.Hour {
+		c.SLOWindow = time.Hour
+	}
+	if c.SLOWindow < time.Second {
+		c.SLOWindow = time.Second
+	}
 	return c
 }
 
 // Server is the placement daemon. Create with New, expose with
 // Handler, stop with Close.
 type Server struct {
-	cfg    Config
-	cache  *lruCache
-	flight *flightGroup
-	pool   *pool
-	start  time.Time
+	cfg       Config
+	cache     *lruCache
+	flight    *flightGroup
+	pool      *pool
+	start     time.Time
+	accessLog *accessLogger
+	slo       *sloTracker
 
 	// solve computes one canonical instance; tests substitute stubs to
-	// probe the concurrency machinery without real solver runs.
-	solve func(*canon.Request) (*core.Result, error)
+	// probe the concurrency machinery without real solver runs. The
+	// context carries the owning request's solve span (if any); it is
+	// not a cancellation signal — solves run detached by design.
+	solve func(context.Context, *canon.Request) (*core.Result, error)
 
 	requests  *obs.Counter
 	cacheHits *obs.Counter
@@ -106,6 +143,7 @@ type Server struct {
 	dedups    *obs.Counter
 	rejected  *obs.Counter
 	timeouts  *obs.Counter
+	canceled  *obs.Counter
 	errCount  *obs.Counter
 }
 
@@ -119,12 +157,15 @@ func New(cfg Config) *Server {
 		flight:    newFlightGroup(),
 		pool:      newPool(cfg.Workers, cfg.MaxInFlight),
 		start:     time.Now(),
+		accessLog: newAccessLogger(cfg.AccessLog),
+		slo:       newSLOTracker(cfg.SLOLatency),
 		requests:  reg.Counter("service_requests_total"),
 		cacheHits: reg.Counter("service_cache_hits_total"),
 		solves:    reg.Counter("service_solves_total"),
 		dedups:    reg.Counter("service_dedup_total"),
 		rejected:  reg.Counter("service_rejected_total"),
 		timeouts:  reg.Counter("service_timeouts_total"),
+		canceled:  reg.Counter("service_canceled_total"),
 		errCount:  reg.Counter("service_solve_errors_total"),
 	}
 	s.solve = s.solvePlacement
@@ -141,6 +182,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/fabrics", s.handleFabrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return mux
 }
 
@@ -150,37 +192,137 @@ type errSolve struct{ err error }
 
 func (e errSolve) Error() string { return e.err.Error() }
 
+// statusClientClosedRequest is the non-standard 499 code (nginx
+// convention) logged when the client disconnected before a response
+// could be served; no client observes it.
+const statusClientClosedRequest = 499
+
+// placeOutcome accumulates what the access log and SLO accounting need
+// to know about one /v1/place request. The queue/solve durations are
+// written by the detached leader goroutine — which may outlive the
+// request that spawned it — and read by the deferred logger, hence the
+// atomics.
+type placeOutcome struct {
+	status  int
+	cache   string
+	digest  string
+	errText string
+	queueNs atomic.Int64
+	solveNs atomic.Int64
+}
+
+// traceFor mints the request-scoped trace, honouring a well-formed
+// client-supplied X-Trace-Id so upstream callers can correlate. Nil
+// when tracing is disabled.
+func (s *Server) traceFor(r *http.Request) *obs.Trace {
+	if s.cfg.Tracer == nil {
+		return nil
+	}
+	if id, ok := obs.ParseTraceID(r.Header.Get("X-Trace-Id")); ok {
+		return s.cfg.Tracer.NewWithID(id, "request")
+	}
+	return s.cfg.Tracer.New("request")
+}
+
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	reqT := s.cfg.Registry.Timer("service_request")
-	defer reqT.Stop()
+	start := time.Now()
+	tr := s.traceFor(r)
+	if tr != nil {
+		// Set on the header map before any WriteHeader call, so error
+		// responses (400/429/499/504/...) carry the id too.
+		w.Header().Set("X-Trace-Id", tr.ID().String())
+	}
+	out := &placeOutcome{status: http.StatusOK, cache: "none"}
+	defer func() {
+		elapsed := time.Since(start)
+		reqT.Stop()
+		tr.Finish()
+		s.slo.Observe(elapsed, out.status)
+		s.accessLog.log(AccessRecord{
+			Time:    start.UTC().Format(time.RFC3339Nano),
+			TraceID: traceIDString(tr),
+			Method:  r.Method,
+			Path:    r.URL.Path,
+			Status:  out.status,
+			DurMs:   float64(elapsed.Microseconds()) / 1000,
+			Digest:  out.digest,
+			Cache:   out.cache,
+			QueueMs: float64(out.queueNs.Load()) / 1e6,
+			SolveMs: float64(out.solveNs.Load()) / 1e6,
+			Error:   out.errText,
+		})
+	}()
+	s.servePlace(w, r, tr, out)
+}
 
+func traceIDString(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.ID().String()
+}
+
+// servePlace is the traced request body of handlePlace; it fills out
+// for the deferred access-log/SLO bookkeeping.
+func (s *Server) servePlace(w http.ResponseWriter, r *http.Request, tr *obs.Trace, out *placeOutcome) {
+	canonSp := tr.StartSpan("canonicalize")
 	creq, err := DecodeRequest(r.Body, s.cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		canonSp.End()
+		s.failPlace(w, out, http.StatusBadRequest, err)
 		return
 	}
 	digest, err := creq.Digest()
+	canonSp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.failPlace(w, out, http.StatusBadRequest, err)
 		return
 	}
-	if body, ok := s.cache.Get(digest); ok {
+	out.digest = digest.String()
+
+	lookupSp := tr.StartSpan("cache_lookup")
+	body, ok := s.cache.Get(digest)
+	if lookupSp != nil {
+		lookupSp.SetAttrs(obs.Bool("hit", ok))
+		lookupSp.End()
+	}
+	if ok {
 		s.cacheHits.Inc()
+		out.cache = "hit"
 		writePlacement(w, body, digest, true)
 		return
 	}
+
+	flightSp := tr.StartSpan("singleflight")
 	body, leader, err := s.flight.Do(r.Context(), digest, func() ([]byte, error) {
-		return s.solveAndCache(creq, digest)
+		return s.solveAndCache(tr, out, creq, digest)
 	})
+	if flightSp != nil {
+		role := "waiter"
+		if leader {
+			role = "leader"
+		}
+		flightSp.SetAttrs(obs.String("role", role))
+		flightSp.End()
+	}
 	switch {
 	case errors.Is(err, errBusy):
 		s.rejected.Inc()
-		writeError(w, http.StatusTooManyRequests, errors.New("admission queue full, retry later"))
+		s.failPlace(w, out, http.StatusTooManyRequests, errors.New("admission queue full, retry later"))
+		return
+	case errors.Is(err, context.Canceled) && errors.Is(r.Context().Err(), context.Canceled):
+		// The client disconnected while this request was queued or
+		// waiting on a singleflight leader: stop immediately (the
+		// leader's solve stays detached and still fills the cache) and
+		// log a 499 instead of burning the timeout.
+		s.canceled.Inc()
+		s.failPlace(w, out, statusClientClosedRequest, errors.New("client closed request"))
 		return
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, errors.New("request timed out waiting for a solver"))
+		s.failPlace(w, out, http.StatusGatewayTimeout, errors.New("request timed out waiting for a solver"))
 		return
 	case err != nil:
 		var se errSolve
@@ -192,20 +334,34 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusUnprocessableEntity
 		}
 		s.errCount.Inc()
-		writeError(w, status, err)
+		s.failPlace(w, out, status, err)
 		return
 	}
+	out.cache = "miss"
 	if !leader {
 		s.dedups.Inc()
+		out.cache = "dedup"
 	}
 	writePlacement(w, body, digest, !leader)
+}
+
+// failPlace records the failure in the outcome and writes the error
+// body. The X-Trace-Id header was set before any write, so error
+// responses stay correlatable with the access log.
+func (s *Server) failPlace(w http.ResponseWriter, out *placeOutcome, status int, err error) {
+	out.status = status
+	out.errText = err.Error()
+	writeError(w, status, err)
 }
 
 // solveAndCache runs one canonical instance on the admission pool and
 // caches the encoded response. It runs detached from any single HTTP
 // request: waiters that give up do not cancel it, and its result
-// serves future requests.
-func (s *Server) solveAndCache(creq *canon.Request, digest canon.Digest) ([]byte, error) {
+// serves future requests. The queue-wait and solve spans it records
+// belong to the leader request's trace (tr); if that request has
+// already finished, the spans still reach the span sink, marked
+// unended in the trace's filed ring summary.
+func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Request, digest canon.Digest) ([]byte, error) {
 	// Double-check the cache: a request that missed it just before a
 	// concurrent identical solve finished (and left the flight group)
 	// becomes a fresh leader here; the entry it needs is already
@@ -217,19 +373,44 @@ func (s *Server) solveAndCache(creq *canon.Request, digest canon.Digest) ([]byte
 	ctx, cancel := context.WithTimeout(context.Background(),
 		s.cfg.QueueGrace+creq.Options.Timeout)
 	defer cancel()
+	queueSp := tr.StartSpan("queue_wait")
+	queued := time.Now()
 	var body []byte
 	var solveErr error
 	err := s.pool.Submit(ctx, func() {
+		wait := time.Since(queued)
+		queueSp.End()
+		out.queueNs.Store(int64(wait))
+		s.cfg.Registry.ObserveDuration("service_queue_wait", wait)
 		solveT := s.cfg.Registry.Timer("service_solve")
-		defer solveT.Stop()
+		solveSp := tr.StartSpan("solve")
 		s.solves.Inc()
-		res, err := s.solve(creq)
+		sctx := obs.ContextWithSpan(obs.ContextWithTrace(ctx, tr), solveSp)
+		res, err := s.solve(sctx, creq)
+		solveDur := solveT.Stop()
+		out.solveNs.Store(int64(solveDur))
 		if err != nil {
+			if solveSp != nil {
+				solveSp.SetAttrs(obs.String("error", err.Error()))
+				solveSp.End()
+			}
 			solveErr = errSolve{err}
 			return
 		}
+		if solveSp != nil {
+			solveSp.SetAttrs(
+				obs.Bool("found", res.Found),
+				obs.Int("height", int64(res.Height)),
+				obs.String("reason", res.Reason.String()),
+			)
+			solveSp.End()
+		}
 		body, solveErr = buildResponse(digest, creq, res)
 	})
+	// A job that was shed (errBusy) or expired while queued never ran;
+	// close its queue-wait span so the trace does not dangle. End is
+	// idempotent, so the raced already-ran case stays correct.
+	queueSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -241,8 +422,12 @@ func (s *Server) solveAndCache(creq *canon.Request, digest canon.Digest) ([]byte
 }
 
 // solvePlacement is the production solver: materialise the fabric,
-// window the region, place the canonical module set.
-func (s *Server) solvePlacement(creq *canon.Request) (*core.Result, error) {
+// window the region, place the canonical module set. When ctx carries
+// a solve span, a per-request obs.SpanStats recorder is threaded
+// through the solver options and the search counters (nodes,
+// backtracks, propagations, prunes, incumbents) are attributed to that
+// span on return.
+func (s *Server) solvePlacement(ctx context.Context, creq *canon.Request) (*core.Result, error) {
 	dev, err := fabric.ByName(creq.Fabric)
 	if err != nil {
 		return nil, err
@@ -256,6 +441,11 @@ func (s *Server) solvePlacement(creq *canon.Request) (*core.Result, error) {
 	}
 	opts := creq.Options.Options()
 	opts.Metrics = s.cfg.Registry
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		stats := &obs.SpanStats{}
+		opts.Recorder = stats
+		defer stats.AttachTo(sp)
+	}
 	return core.New(region, opts).Place(creq.Modules)
 }
 
@@ -265,6 +455,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFabrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"fabrics": fabric.Catalog()})
+}
+
+// handleTraces dumps the tracer's recent and slowest rings. With
+// tracing disabled both lists are empty.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Tracer.Snapshot())
 }
 
 // StatsResponse is the wire form of GET /v1/stats.
@@ -277,12 +473,14 @@ type StatsResponse struct {
 	SolveErrors   int64      `json:"solveErrors"`
 	Rejected      int64      `json:"rejected"`
 	Timeouts      int64      `json:"timeouts"`
+	Canceled      int64      `json:"canceled"`
 	HitRatio      float64    `json:"hitRatio"`
 	QueueDepth    int        `json:"queueDepth"`
 	InFlight      int        `json:"inFlight"`
 	Workers       int        `json:"workers"`
 	MaxInFlight   int        `json:"maxInFlight"`
 	Cache         CacheStats `json:"cache"`
+	SLO           SLOStats   `json:"slo"`
 }
 
 // Stats snapshots the daemon counters. HitRatio counts both cache hits
@@ -297,11 +495,13 @@ func (s *Server) Stats() StatsResponse {
 		SolveErrors:   s.errCount.Value(),
 		Rejected:      s.rejected.Value(),
 		Timeouts:      s.timeouts.Value(),
+		Canceled:      s.canceled.Value(),
 		QueueDepth:    s.pool.QueueDepth(),
 		InFlight:      s.pool.InFlight(),
 		Workers:       s.cfg.Workers,
 		MaxInFlight:   s.cfg.MaxInFlight,
 		Cache:         s.cache.Stats(),
+		SLO:           s.slo.Stats(s.cfg.SLOWindow),
 	}
 	if st.Requests > 0 {
 		st.HitRatio = float64(st.CacheHits+st.DedupHits) / float64(st.Requests)

@@ -140,7 +140,7 @@ func TestSingleflightOneSolve(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 4, MaxInFlight: 64})
 	var solves atomic.Int64
 	release := make(chan struct{})
-	s.solve = func(*canon.Request) (*core.Result, error) {
+	s.solve = func(context.Context, *canon.Request) (*core.Result, error) {
 		solves.Add(1)
 		<-release
 		return stubResult(7), nil
@@ -190,7 +190,7 @@ func TestDistinctRequestsDoNotBlock(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 2, MaxInFlight: 8})
 	slowEntered := make(chan struct{})
 	slowRelease := make(chan struct{})
-	s.solve = func(req *canon.Request) (*core.Result, error) {
+	s.solve = func(_ context.Context, req *canon.Request) (*core.Result, error) {
 		if req.Modules[0].Name() == "slow" {
 			close(slowEntered)
 			<-slowRelease
@@ -231,7 +231,7 @@ func TestDistinctRequestsDoNotBlock(t *testing.T) {
 // wires. Run under -race in CI.
 func TestEvictionChurnServesCorrectPlacements(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 4, MaxInFlight: 256, CacheEntries: 2})
-	s.solve = func(req *canon.Request) (*core.Result, error) {
+	s.solve = func(_ context.Context, req *canon.Request) (*core.Result, error) {
 		// Height identifies the instance: module count is the marker.
 		return stubResult(len(req.Modules)), nil
 	}
@@ -281,7 +281,7 @@ func TestAdmissionBackpressure(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	s.solve = func(*canon.Request) (*core.Result, error) {
+	s.solve = func(context.Context, *canon.Request) (*core.Result, error) {
 		once.Do(func() { close(entered) })
 		<-release
 		return stubResult(1), nil
@@ -320,7 +320,7 @@ func TestQueuedRequestDeadline(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	s.solve = func(*canon.Request) (*core.Result, error) {
+	s.solve = func(context.Context, *canon.Request) (*core.Result, error) {
 		once.Do(func() { close(entered) })
 		<-release
 		return stubResult(1), nil
@@ -345,7 +345,7 @@ func TestQueuedRequestDeadline(t *testing.T) {
 func TestSolveErrorsAreNotCached(t *testing.T) {
 	s := newTestServer(t, Config{})
 	var solves atomic.Int64
-	s.solve = func(*canon.Request) (*core.Result, error) {
+	s.solve = func(context.Context, *canon.Request) (*core.Result, error) {
 		solves.Add(1)
 		return nil, fmt.Errorf("module m00: no feasible position")
 	}
@@ -367,7 +367,7 @@ func TestSolveErrorsAreNotCached(t *testing.T) {
 func TestInfeasibleInstanceIsCached(t *testing.T) {
 	s := newTestServer(t, Config{})
 	var solves atomic.Int64
-	s.solve = func(*canon.Request) (*core.Result, error) {
+	s.solve = func(context.Context, *canon.Request) (*core.Result, error) {
 		solves.Add(1)
 		return &core.Result{Found: false}, nil
 	}

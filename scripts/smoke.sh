@@ -3,7 +3,9 @@
 # the CI "smoke" job (and `make smoke` locally): build cmd/placed,
 # start it on the Table-I fabric's catalog, place the committed smoke
 # request twice and require a cache miss then a byte-identical cache
-# hit, check liveness, and shut down cleanly.
+# hit, check liveness and the observability round trip (X-Trace-Id
+# header, structured access-log line, span stream rendered by
+# tracecat), and shut down cleanly.
 set -eu
 
 PORT="${PORT:-18723}"
@@ -13,8 +15,10 @@ WORKDIR="$(mktemp -d)"
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 go build -o "$WORKDIR/placed" ./cmd/placed
+go build -o "$WORKDIR/tracecat" ./cmd/tracecat
 
-"$WORKDIR/placed" -addr "$ADDR" -workers 2 -cache-entries 64 -max-inflight 16 &
+"$WORKDIR/placed" -addr "$ADDR" -workers 2 -cache-entries 64 -max-inflight 16 \
+    -trace "$WORKDIR/spans.jsonl" -access-log "$WORKDIR/access.log" &
 DAEMON_PID=$!
 
 # Wait for liveness.
@@ -53,8 +57,30 @@ if ! cmp -s "$WORKDIR/first.body" "$WORKDIR/second.body"; then
 fi
 echo "smoke: miss then byte-identical hit"
 
-curl -sf "$BASE/v1/stats"
-echo
+# Every response must carry a 32-hex X-Trace-Id.
+TRACE_ID="$(grep -i '^x-trace-id:' "$WORKDIR/first.headers" | tr -d '\r' | awk '{print $2}')"
+if ! echo "$TRACE_ID" | grep -Eq '^[0-9a-f]{32}$'; then
+    echo "smoke: first placement X-Trace-Id=\"$TRACE_ID\", want 32-hex" >&2
+    exit 1
+fi
+echo "smoke: X-Trace-Id $TRACE_ID"
+
+# The traced request shows up in the in-memory trace rings.
+if ! curl -sf "$BASE/debug/traces" | grep -q "$TRACE_ID"; then
+    echo "smoke: /debug/traces does not contain trace $TRACE_ID" >&2
+    exit 1
+fi
+echo "smoke: /debug/traces lists the request"
+
+STATS="$(curl -sf "$BASE/v1/stats")"
+echo "$STATS"
+case "$STATS" in
+*'"slo"'*) ;;
+*)
+    echo "smoke: /v1/stats carries no SLO section" >&2
+    exit 1
+    ;;
+esac
 
 kill "$DAEMON_PID"
 wait "$DAEMON_PID" || {
@@ -63,3 +89,36 @@ wait "$DAEMON_PID" || {
 }
 DAEMON_PID=""
 echo "smoke: clean shutdown"
+
+# One well-formed access-log line per request, correlated by trace id.
+LINES="$(wc -l < "$WORKDIR/access.log")"
+if [ "$LINES" -ne 2 ]; then
+    echo "smoke: access log has $LINES lines after 2 requests" >&2
+    cat "$WORKDIR/access.log" >&2
+    exit 1
+fi
+FIRST_LINE="$(head -n 1 "$WORKDIR/access.log")"
+case "$FIRST_LINE" in
+*"\"traceId\":\"$TRACE_ID\""*) ;;
+*)
+    echo "smoke: access log line lacks traceId $TRACE_ID: $FIRST_LINE" >&2
+    exit 1
+    ;;
+esac
+case "$FIRST_LINE" in
+*'"path":"/v1/place"'*'"status":200'*) ;;
+*)
+    echo "smoke: malformed access log line: $FIRST_LINE" >&2
+    exit 1
+    ;;
+esac
+echo "smoke: access log well-formed"
+
+# The span stream renders: tracecat must find the request trace with
+# its solve span.
+if ! "$WORKDIR/tracecat" "$WORKDIR/spans.jsonl" | grep -q "trace $TRACE_ID"; then
+    echo "smoke: tracecat did not render trace $TRACE_ID" >&2
+    "$WORKDIR/tracecat" "$WORKDIR/spans.jsonl" >&2 || true
+    exit 1
+fi
+echo "smoke: tracecat renders the span stream"
