@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt-check lint solverlint tools check bench bench-service fuzz smoke clean
+.PHONY: all build test race vet fmt-check lint solverlint tools check bench bench-service fuzz smoke chaos clean
 
 all: build
 
@@ -79,6 +79,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDomain -fuzztime $(FUZZTIME) ./internal/csp
 	$(GO) test -run xxx -fuzz FuzzPlacementValid -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzCanonDigest -fuzztime $(FUZZTIME) ./internal/canon
+	$(GO) test -run xxx -fuzz FuzzBaselineValid -fuzztime $(FUZZTIME) ./internal/baseline
 
 # The serving benchmark pair behind EXPERIMENTS.md: a cached Table-I
 # placement versus the same request re-solved from scratch.
@@ -90,6 +91,13 @@ bench-service:
 # the committed smoke request, require miss → byte-identical hit.
 smoke:
 	sh scripts/smoke.sh
+
+# Fault-injected chaos soak (requires curl): placed and loadgen built
+# under -race, a mixed fault spec with graceful degradation on, every
+# 200 response checked for placement validity. Tune with FAULTS=...,
+# REQUESTS=..., SEED=....
+chaos:
+	sh scripts/chaos.sh
 
 clean:
 	$(GO) clean ./...

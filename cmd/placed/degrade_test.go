@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// chaosBody is a small self-contained workload for the fault-path
+// tests: fast for the baseline heuristics, deterministic for replay.
+const chaosBody = `{"fabric":"spartan-like-24x16","generate":{"seed":3,"numModules":3,"clbMin":4,"clbMax":6,"noBram":true,"alternatives":2},"options":{"stallNodes":200,"timeoutMs":5000}}`
+
+func chaosOpts(faults string, degrade bool) cliOpts {
+	return cliOpts{
+		workers:        2,
+		cacheEntries:   64,
+		maxInFlight:    16,
+		defaultTimeout: 20 * time.Second,
+		maxTimeout:     30 * time.Second,
+		accessLog:      "",
+		faults:         faults,
+		faultsSeed:     1,
+		degrade:        degrade,
+	}
+}
+
+func postPlace(t *testing.T, base, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/place", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestDaemonShed429 drives the admission-shedding failure path end to
+// end: with the queue site erroring and degradation off, the daemon
+// answers 429 with retry guidance.
+func TestDaemonShed429(t *testing.T) {
+	base, done := startDaemon(t, chaosOpts("queue:error:1", false))
+	resp, body := postPlace(t, base, chaosBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1", got)
+	}
+	if err := sigterm(t, done); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+// TestDaemonTimeout504 drives the deadline-miss failure path end to
+// end with degradation off.
+func TestDaemonTimeout504(t *testing.T) {
+	base, done := startDaemon(t, chaosOpts("solver:timeout:1", false))
+	resp, body := postPlace(t, base, chaosBody)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	if err := sigterm(t, done); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+// TestDaemonDegraded200 is the daemon-level acceptance test: every
+// exact solve misses its deadline, yet -degrade turns the failure into
+// a 200 tagged approximate, and the fault counters surface in stats.
+func TestDaemonDegraded200(t *testing.T) {
+	base, done := startDaemon(t, chaosOpts("solver:timeout:1", true))
+	resp, body := postPlace(t, base, chaosBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Placement-Quality"); got != "approximate" {
+		t.Fatalf("X-Placement-Quality = %q, want approximate", got)
+	}
+	if !bytes.Contains(body, []byte(`"quality":"approximate"`)) {
+		t.Fatalf("body not tagged approximate: %s", body)
+	}
+	if !bytes.Contains(body, []byte(`"found":true`)) {
+		t.Fatalf("degraded answer found no placement: %s", body)
+	}
+
+	stats, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBody, _ := io.ReadAll(stats.Body)
+	stats.Body.Close()
+	for _, want := range []string{`"degraded":1`, `"solver:timeout"`} {
+		if !bytes.Contains(statsBody, []byte(want)) {
+			t.Fatalf("stats missing %s: %s", want, statsBody)
+		}
+	}
+
+	if err := sigterm(t, done); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+// TestRunBadFaultSpec: a malformed -faults value must fail startup,
+// not silently run without injection.
+func TestRunBadFaultSpec(t *testing.T) {
+	o := chaosOpts("solver:exploded:1", false)
+	o.addr = freePort(t)
+	if err := run(o); err == nil {
+		t.Fatal("malformed fault spec accepted")
+	}
+}

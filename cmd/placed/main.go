@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -57,6 +58,9 @@ type cliOpts struct {
 	accessLog      string
 	sloLatency     time.Duration
 	sloWindow      time.Duration
+	degrade        bool
+	faults         string
+	faultsSeed     int64
 }
 
 func main() {
@@ -72,6 +76,9 @@ func main() {
 	flag.StringVar(&o.accessLog, "access-log", "-", "write one JSON line per request to this path (- for stdout, empty to disable)")
 	flag.DurationVar(&o.sloLatency, "slo-latency", 500*time.Millisecond, "request-latency objective for /v1/stats SLO accounting")
 	flag.DurationVar(&o.sloWindow, "slo-window", time.Hour, "headline SLO attainment window (max 1h)")
+	flag.BoolVar(&o.degrade, "degrade", true, "serve approximate baseline placements when the exact solve times out or is shed")
+	flag.StringVar(&o.faults, "faults", "", "fault-injection rules, e.g. 'solver:timeout:0.2;cache:latency:0.5:10ms' (chaos testing; empty disables)")
+	flag.Int64Var(&o.faultsSeed, "faults-seed", 1, "PRNG seed for -faults, for reproducible chaos runs")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "placed:", err)
@@ -113,6 +120,14 @@ func run(o cliOpts) (err error) {
 		accessLog = f
 	}
 
+	faults, err := faultinject.Parse(o.faults, o.faultsSeed)
+	if err != nil {
+		return err
+	}
+	if faults != nil {
+		fmt.Printf("placed: fault injection ACTIVE: %s (seed %d)\n", faults, o.faultsSeed)
+	}
+
 	svc := service.New(service.Config{
 		Workers:        o.workers,
 		CacheEntries:   o.cacheEntries,
@@ -124,6 +139,8 @@ func run(o cliOpts) (err error) {
 		AccessLog:      accessLog,
 		SLOLatency:     o.sloLatency,
 		SLOWindow:      o.sloWindow,
+		Degrade:        o.degrade,
+		Faults:         faults,
 	})
 	defer svc.Close()
 

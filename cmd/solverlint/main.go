@@ -35,14 +35,17 @@ var scopes = map[string][]string{
 	// entries. The span-recording layer in internal/obs sits on those
 	// same call paths (per-request traces wrap every solve), so it is
 	// held to the same bar; its deliberate uses of wall-clock time and
-	// crypto/rand ids carry explicit allow pragmas. Workload/netlist
-	// generators and experiment drivers are deliberately seeded-random.
-	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/canon", "internal/obs"},
+	// crypto/rand ids carry explicit allow pragmas. The fault injector
+	// must replay chaos runs exactly, so its deliberately seeded PRNG
+	// sites are pragma'd too. Workload/netlist generators and
+	// experiment drivers are deliberately seeded-random.
+	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/canon", "internal/obs", "internal/faultinject"},
 	// The zero-alloc-when-disabled contract covers the solver hot
 	// paths instrumented in PR 1 and the request-tracing span model:
 	// span emission must stay nil-guarded so a tracerless daemon pays
-	// nothing.
-	"obsgate": {"internal/csp", "internal/geost", "internal/core", "internal/obs"},
+	// nothing. The fault injector makes the same promise: a daemon
+	// without -faults must not pay for the injection sites.
+	"obsgate": {"internal/csp", "internal/geost", "internal/core", "internal/obs", "internal/faultinject"},
 	// Options/OptionError validation lives in the csp kernel.
 	"optvalidate": {"internal/csp"},
 	// Library packages must not panic undocumented; cmd/ and examples/

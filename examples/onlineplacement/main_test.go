@@ -1,0 +1,28 @@
+package main
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExampleRuns is the smoke test for this example program: it must
+// build, run to completion quickly, and print its headline output.
+// The example is executed as a real process (go run .) so the test
+// covers exactly what the README tells a reader to type.
+func TestExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the go tool")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("example failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "first-fit") {
+		t.Fatalf("example output lost its headline line %s:\n%s", "first-fit", out)
+	}
+}

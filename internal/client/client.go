@@ -1,0 +1,234 @@
+// Package client is the placement service's HTTP client: a thin,
+// dependency-free wrapper around net/http that knows which failures
+// are worth retrying and which are not.
+//
+// The retry policy is deliberately narrow. A request is retried only
+// when the service never accepted responsibility for it:
+//
+//   - 429 Too Many Requests — shed by admission control; the body was
+//     never dequeued, so resubmitting is safe and expected.
+//   - 503 Service Unavailable — draining or not yet serving.
+//   - transport errors where no response arrived (connection refused,
+//     reset before status line).
+//
+// Everything else is returned to the caller on the first attempt. In
+// particular 504 (the solve ran and missed its deadline) and 500 (the
+// solve ran and failed) are NOT retried: the server may have spent
+// seconds of solver time on the attempt, and hammering it with the
+// same instance amplifies the overload that caused the failure. 4xx
+// request errors are the caller's bug; retrying cannot fix them.
+//
+// Backoff between attempts is capped jittered exponential. When the
+// server supplies a Retry-After header (it does on 429), that value is
+// honoured as the floor for the next delay.
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Options configures a Client. The zero value of each field selects
+// the documented default.
+type Options struct {
+	// MaxAttempts is the total number of tries per Do call, first
+	// attempt included. Default 4.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k (0-based
+	// among retries) waits about BaseDelay<<k. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Default 2s.
+	MaxDelay time.Duration
+	// Jitter scales the random spread applied to each delay, in
+	// [0,1]: the sleep is delay * (1 - Jitter/2 + Jitter*u) for
+	// uniform u. Default 0.5; set -1 for none (deterministic tests).
+	Jitter float64
+	// Seed fixes the jitter PRNG for reproducible schedules; 0 keeps
+	// a fixed default seed (this client favours replayability over
+	// cross-process spread — chaos runs must be reproducible).
+	Seed int64
+	// HTTPClient is the underlying transport. Default: a client with
+	// a 30s overall timeout.
+	HTTPClient *http.Client
+	// Sleep replaces the inter-attempt wait, for tests. Default
+	// honours the context during the sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Client issues requests with bounded retries. Safe for concurrent
+// use; the jitter PRNG is the only shared mutable state.
+type Client struct {
+	base  string
+	opts  Options
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New returns a client for the service at base (e.g.
+// "http://127.0.0.1:7433").
+func New(base string, opts Options) *Client {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 100 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Second
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 0.5
+	}
+	if opts.Jitter < 0 {
+		opts.Jitter = 0
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
+	return &Client{
+		base: base,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Result is the terminal outcome of a Do call.
+type Result struct {
+	// Status is the HTTP status of the final attempt.
+	Status int
+	// Body is the final attempt's full response body.
+	Body []byte
+	// Header is the final attempt's response header.
+	Header http.Header
+	// Attempts is how many requests were actually sent.
+	Attempts int
+	// Retries counts the attempts that were retried (Attempts-1 when
+	// the last attempt was served, more never).
+	Retries int
+}
+
+// Do POSTs body to path, retrying per the package policy, and returns
+// the final attempt's response whatever its status. It errors only
+// when every attempt failed at the transport layer or the context
+// ended first.
+func (c *Client) Do(ctx context.Context, path string, body []byte) (*Result, error) {
+	res := &Result{}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.opts.Sleep(ctx, c.backoff(attempt-1, lastRetryAfter(res))); err != nil {
+				return nil, err
+			}
+			res.Retries++
+		}
+		res.Attempts++
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// No response arrived: the server never accepted the
+			// request, so a retry cannot duplicate work.
+			lastErr = err
+			res.Status = 0
+			res.Body = nil
+			res.Header = nil
+			continue
+		}
+		res.Status = resp.StatusCode
+		res.Header = resp.Header
+		res.Body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !retryable(resp.StatusCode) {
+			return res, nil
+		}
+		lastErr = fmt.Errorf("client: status %d", resp.StatusCode)
+	}
+	if res.Status != 0 {
+		// Retries exhausted on a retryable status: surface the last
+		// response rather than an error, so callers see the 429/503.
+		return res, nil
+	}
+	return nil, fmt.Errorf("client: %d attempts failed: %w", res.Attempts, lastErr)
+}
+
+// retryable reports whether a status means the service never took
+// ownership of the request. 504 and 5xx solve failures are final: the
+// work ran.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// lastRetryAfter extracts the server's Retry-After hint (seconds form
+// only) from the last response, or 0.
+func lastRetryAfter(res *Result) time.Duration {
+	if res.Header == nil {
+		return 0
+	}
+	v := res.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff computes the sleep before retry k (0-based): capped
+// exponential with multiplicative jitter, floored at the server's
+// Retry-After when one was given.
+func (c *Client) backoff(k int, retryAfter time.Duration) time.Duration {
+	d := c.opts.BaseDelay << uint(k)
+	if d > c.opts.MaxDelay || d <= 0 {
+		d = c.opts.MaxDelay
+	}
+	if c.opts.Jitter > 0 {
+		c.rngMu.Lock()
+		u := c.rng.Float64() //solverlint:allow nondeterminism jittered backoff is randomized by design, seeded for replay
+		c.rngMu.Unlock()
+		d = time.Duration(float64(d) * (1 - c.opts.Jitter/2 + c.opts.Jitter*u))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.opts.MaxDelay {
+		d = c.opts.MaxDelay
+	}
+	return d
+}

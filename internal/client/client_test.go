@@ -1,0 +1,192 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep records requested backoff delays without waiting.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestRetriesShedThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"found":true}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, Options{Sleep: noSleep(&delays)})
+	res, err := c.Do(context.Background(), "/v1/place", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || res.Attempts != 3 || res.Retries != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+	if string(res.Body) != `{"found":true}` {
+		t.Fatalf("body: %s", res.Body)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+}
+
+func TestDoesNotRetryFinalStatuses(t *testing.T) {
+	for _, status := range []int{
+		http.StatusBadRequest,
+		http.StatusUnprocessableEntity,
+		http.StatusInternalServerError,
+		http.StatusGatewayTimeout,
+	} {
+		var hits atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.WriteHeader(status)
+		}))
+		c := New(srv.URL, Options{Sleep: noSleep(new([]time.Duration))})
+		res, err := c.Do(context.Background(), "/v1/place", nil)
+		srv.Close()
+		if err != nil {
+			t.Fatalf("status %d: %v", status, err)
+		}
+		if res.Status != status || res.Attempts != 1 || hits.Load() != 1 {
+			t.Fatalf("status %d retried: %+v (hits %d)", status, res, hits.Load())
+		}
+	}
+}
+
+func TestExhaustedRetriesReturnLastResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, Options{MaxAttempts: 3, Sleep: noSleep(new([]time.Duration))})
+	res, err := c.Do(context.Background(), "/v1/place", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusServiceUnavailable || res.Attempts != 3 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestRetriesTransportError(t *testing.T) {
+	// A server that is immediately closed: connection refused, no
+	// response ever arrives, so every attempt is retryable.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	c := New(url, Options{MaxAttempts: 2, Sleep: noSleep(new([]time.Duration))})
+	_, err := c.Do(context.Background(), "/v1/place", nil)
+	if err == nil {
+		t.Fatal("expected transport error after exhausted retries")
+	}
+}
+
+func TestContextCancelsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(srv.URL, Options{
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	})
+	_, err := c.Do(ctx, "/v1/place", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBackoffGrowsAndHonoursRetryAfter(t *testing.T) {
+	c := New("http://unused", Options{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  2 * time.Second,
+		Jitter:    -1, // deterministic
+	})
+	if d := c.backoff(0, 0); d != 100*time.Millisecond {
+		t.Fatalf("backoff(0) = %v", d)
+	}
+	if d := c.backoff(3, 0); d != 800*time.Millisecond {
+		t.Fatalf("backoff(3) = %v", d)
+	}
+	if d := c.backoff(10, 0); d != 2*time.Second {
+		t.Fatalf("backoff(10) = %v, want cap", d)
+	}
+	// Retry-After floors the delay but never exceeds the cap.
+	if d := c.backoff(0, 1500*time.Millisecond); d != 1500*time.Millisecond {
+		t.Fatalf("backoff with Retry-After = %v", d)
+	}
+	if d := c.backoff(0, time.Minute); d != 2*time.Second {
+		t.Fatalf("backoff with huge Retry-After = %v, want cap", d)
+	}
+}
+
+func TestJitterIsSeededAndBounded(t *testing.T) {
+	mk := func() []time.Duration {
+		c := New("http://unused", Options{
+			BaseDelay: 100 * time.Millisecond,
+			Jitter:    0.5,
+			Seed:      7,
+		})
+		var ds []time.Duration
+		for i := 0; i < 16; i++ {
+			ds = append(ds, c.backoff(0, 0))
+		}
+		return ds
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		lo, hi := 75*time.Millisecond, 125*time.Millisecond
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("jittered delay %v outside [%v,%v]", a[i], lo, hi)
+		}
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{"10", 10 * time.Second},
+		{"-3", 0},
+		{"soon", 0},
+	}
+	for _, tc := range cases {
+		res := &Result{Header: http.Header{}}
+		if tc.header != "" {
+			res.Header.Set("Retry-After", tc.header)
+		}
+		if got := lastRetryAfter(res); got != tc.want {
+			t.Fatalf("Retry-After %q: got %v want %v", tc.header, got, tc.want)
+		}
+	}
+	if got := lastRetryAfter(&Result{}); got != 0 {
+		t.Fatalf("nil header: %v", got)
+	}
+}

@@ -22,7 +22,9 @@ type AccessRecord struct {
 	Cache   string  `json:"cache"`
 	QueueMs float64 `json:"queueMs"`
 	SolveMs float64 `json:"solveMs"`
-	Error   string  `json:"error,omitempty"`
+	// Quality is "approximate" on degraded responses, empty otherwise.
+	Quality string `json:"quality,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // accessLogger serialises one JSON object per request onto w. Lines

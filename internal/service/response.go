@@ -29,6 +29,11 @@ type PlaceResponse struct {
 	Nodes       int64   `json:"nodes"`
 	Backtracks  int64   `json:"backtracks"`
 	SolveMs     float64 `json:"solveMs"`
+	// Quality tags degraded answers: "approximate" when a baseline
+	// heuristic placed the instance because the exact solve missed its
+	// deadline or was shed. Omitted (empty) on exact answers, so exact
+	// response bodies are byte-identical to the pre-degradation format.
+	Quality string `json:"quality,omitempty"`
 	// Placements lists one entry per module in canonical (name) order.
 	// Shape indexes refer to the canonical shape order (shapes sorted
 	// by geometric key), not the order the request listed them in.
@@ -52,7 +57,9 @@ type errorResponse struct {
 }
 
 // buildResponse encodes the solve outcome for the canonical request.
-func buildResponse(digest canon.Digest, req *canon.Request, res *core.Result) ([]byte, error) {
+// quality is QualityExact for solver results (encoded as the empty,
+// omitted field) or QualityApproximate for degraded ones.
+func buildResponse(digest canon.Digest, req *canon.Request, res *core.Result, quality string) ([]byte, error) {
 	resp := PlaceResponse{
 		Digest:      digest.String(),
 		Fabric:      req.Fabric,
@@ -65,6 +72,9 @@ func buildResponse(digest canon.Digest, req *canon.Request, res *core.Result) ([
 		Nodes:       res.Nodes,
 		Backtracks:  res.Backtracks,
 		SolveMs:     float64(res.Elapsed.Microseconds()) / 1e3,
+	}
+	if quality != QualityExact {
+		resp.Quality = quality
 	}
 	for _, p := range res.Placements {
 		s := p.Shape()

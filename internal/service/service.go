@@ -28,7 +28,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"sync/atomic"
@@ -36,8 +35,9 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/core"
+	"repro/internal/csp"
 	"repro/internal/fabric"
-	"repro/internal/grid"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -81,6 +81,18 @@ type Config struct {
 	// /v1/stats (default 1h, clamped to [1s, 1h]; the 1m/5m/1h
 	// standard windows are always reported alongside).
 	SLOWindow time.Duration
+	// Degrade enables graceful degradation: a request whose exact
+	// solve misses its deadline or is shed by admission is answered
+	// with a fast approximate placement (tagged X-Placement-Quality:
+	// approximate) instead of a 504/429, as long as the baseline
+	// heuristics find a valid one. Off by default: degradation changes
+	// the failure-path status codes, so it is an explicit opt-in
+	// (cmd/placed enables it with -degrade).
+	Degrade bool
+	// Faults arms deterministic fault injection on the serving path
+	// (see internal/faultinject); nil — the default — disables
+	// injection at zero per-request cost.
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +148,12 @@ type Server struct {
 	// context carries the owning request's solve span (if any); it is
 	// not a cancellation signal — solves run detached by design.
 	solve func(context.Context, *canon.Request) (*core.Result, error)
+	// fallback computes the approximate placement served when the
+	// exact solve degraded; tests substitute stubs.
+	fallback func(*canon.Request) (*core.Result, error)
+	// faults is the armed fault injector (nil = disabled); kept as a
+	// field so every site check is one pointer load.
+	faults *faultinject.Injector
 
 	requests  *obs.Counter
 	cacheHits *obs.Counter
@@ -145,6 +163,7 @@ type Server struct {
 	timeouts  *obs.Counter
 	canceled  *obs.Counter
 	errCount  *obs.Counter
+	degraded  *obs.Counter
 }
 
 // New builds a server and starts its worker pool.
@@ -167,8 +186,11 @@ func New(cfg Config) *Server {
 		timeouts:  reg.Counter("service_timeouts_total"),
 		canceled:  reg.Counter("service_canceled_total"),
 		errCount:  reg.Counter("service_solve_errors_total"),
+		degraded:  reg.Counter("service_degraded_total"),
 	}
+	s.faults = cfg.Faults
 	s.solve = s.solvePlacement
+	s.fallback = s.solveApproximate
 	return s
 }
 
@@ -207,6 +229,7 @@ type placeOutcome struct {
 	cache   string
 	digest  string
 	errText string
+	quality string
 	queueNs atomic.Int64
 	solveNs atomic.Int64
 }
@@ -251,6 +274,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			Cache:   out.cache,
 			QueueMs: float64(out.queueNs.Load()) / 1e6,
 			SolveMs: float64(out.solveNs.Load()) / 1e6,
+			Quality: out.quality,
 			Error:   out.errText,
 		})
 	}()
@@ -282,8 +306,19 @@ func (s *Server) servePlace(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 	}
 	out.digest = digest.String()
 
+	// Fault site "cache": an injected fault models an unavailable
+	// cache backend — the lookup is skipped (forced miss) after any
+	// injected latency; the solve path below still stores its result.
+	cacheFault := s.faults.Check(faultinject.SiteCache)
+	if cacheFault.Delay > 0 {
+		time.Sleep(cacheFault.Delay)
+	}
 	lookupSp := tr.StartSpan("cache_lookup")
-	body, ok := s.cache.Get(digest)
+	var body []byte
+	var ok bool
+	if cacheFault.Err == nil && !cacheFault.Timeout {
+		body, ok = s.cache.Get(digest)
+	}
 	if lookupSp != nil {
 		lookupSp.SetAttrs(obs.Bool("hit", ok))
 		lookupSp.End()
@@ -291,14 +326,28 @@ func (s *Server) servePlace(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 	if ok {
 		s.cacheHits.Inc()
 		out.cache = "hit"
-		writePlacement(w, body, digest, true)
+		writePlacement(w, body, digest, true, QualityExact)
 		return
 	}
 
+	// Fault site "singleflight": an injected fault models a broken
+	// dedup layer — this request solves solo instead of joining the
+	// flight group (the cache double-check in solveAndCache keeps the
+	// result consistent).
+	flightFault := s.faults.Check(faultinject.SiteSingleflight)
+	if flightFault.Delay > 0 {
+		time.Sleep(flightFault.Delay)
+	}
 	flightSp := tr.StartSpan("singleflight")
-	body, leader, err := s.flight.Do(r.Context(), digest, func() ([]byte, error) {
-		return s.solveAndCache(tr, out, creq, digest)
-	})
+	var leader bool
+	if flightFault.Err != nil || flightFault.Timeout {
+		leader = true
+		body, err = s.solveAndCache(tr, out, creq, digest)
+	} else {
+		body, leader, err = s.flight.Do(r.Context(), digest, func() ([]byte, error) {
+			return s.solveAndCache(tr, out, creq, digest)
+		})
+	}
 	if flightSp != nil {
 		role := "waiter"
 		if leader {
@@ -310,18 +359,28 @@ func (s *Server) servePlace(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 	switch {
 	case errors.Is(err, errBusy):
 		s.rejected.Inc()
+		if s.cfg.Degrade && s.serveDegraded(w, tr, out, creq, digest) {
+			return
+		}
+		// Shed before any solve state existed: safe for the client to
+		// retry shortly (internal/client honours this header).
+		w.Header().Set("Retry-After", "1")
 		s.failPlace(w, out, http.StatusTooManyRequests, errors.New("admission queue full, retry later"))
 		return
 	case errors.Is(err, context.Canceled) && errors.Is(r.Context().Err(), context.Canceled):
 		// The client disconnected while this request was queued or
 		// waiting on a singleflight leader: stop immediately (the
 		// leader's solve stays detached and still fills the cache) and
-		// log a 499 instead of burning the timeout.
+		// log a 499 instead of burning the timeout. Never degrade: no
+		// one is listening.
 		s.canceled.Inc()
 		s.failPlace(w, out, statusClientClosedRequest, errors.New("client closed request"))
 		return
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.timeouts.Inc()
+		if s.cfg.Degrade && s.serveDegraded(w, tr, out, creq, digest) {
+			return
+		}
 		s.failPlace(w, out, http.StatusGatewayTimeout, errors.New("request timed out waiting for a solver"))
 		return
 	case err != nil:
@@ -342,7 +401,7 @@ func (s *Server) servePlace(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 		s.dedups.Inc()
 		out.cache = "dedup"
 	}
-	writePlacement(w, body, digest, !leader)
+	writePlacement(w, body, digest, !leader, QualityExact)
 }
 
 // failPlace records the failure in the outcome and writes the error
@@ -370,6 +429,19 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 	if body, ok := s.cache.Get(digest); ok {
 		return body, nil
 	}
+	// Fault site "queue": an injected error models a full admission
+	// queue (shed → 429 or degradation), an injected timeout a request
+	// that expired while queued (→ 504 or degradation).
+	queueFault := s.faults.Check(faultinject.SiteQueue)
+	if queueFault.Delay > 0 {
+		time.Sleep(queueFault.Delay)
+	}
+	if queueFault.Err != nil {
+		return nil, errBusy
+	}
+	if queueFault.Timeout {
+		return nil, context.DeadlineExceeded
+	}
 	ctx, cancel := context.WithTimeout(context.Background(),
 		s.cfg.QueueGrace+creq.Options.Timeout)
 	defer cancel()
@@ -377,6 +449,7 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 	queued := time.Now()
 	var body []byte
 	var solveErr error
+	var skipStore bool
 	err := s.pool.Submit(ctx, func() {
 		wait := time.Since(queued)
 		queueSp.End()
@@ -386,7 +459,7 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 		solveSp := tr.StartSpan("solve")
 		s.solves.Inc()
 		sctx := obs.ContextWithSpan(obs.ContextWithTrace(ctx, tr), solveSp)
-		res, err := s.solve(sctx, creq)
+		res, err := s.injectedSolve(sctx, creq, &skipStore)
 		solveDur := solveT.Stop()
 		out.solveNs.Store(int64(solveDur))
 		if err != nil {
@@ -394,7 +467,15 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 				solveSp.SetAttrs(obs.String("error", err.Error()))
 				solveSp.End()
 			}
-			solveErr = errSolve{err}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, faultinject.ErrInjected) {
+				// A missed solve deadline keeps its identity so the
+				// HTTP layer can degrade instead of erroring; an
+				// injected solver error is machinery failure (500),
+				// not a malformed instance (422).
+				solveErr = err
+			} else {
+				solveErr = errSolve{err}
+			}
 			return
 		}
 		if solveSp != nil {
@@ -405,7 +486,7 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 			)
 			solveSp.End()
 		}
-		body, solveErr = buildResponse(digest, creq, res)
+		body, solveErr = buildResponse(digest, creq, res, QualityExact)
 	})
 	// A job that was shed (errBusy) or expired while queued never ran;
 	// close its queue-wait span so the trace does not dangle. End is
@@ -417,8 +498,32 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 	if solveErr != nil {
 		return nil, solveErr
 	}
-	s.cache.Put(digest, body)
+	if !skipStore {
+		s.cache.Put(digest, body)
+	}
 	return body, nil
+}
+
+// injectedSolve interposes the "solver" fault site in front of the
+// real (or stubbed) solve. An injected timeout surfaces as the
+// deadline miss the HTTP layer degrades on; an injected error as a
+// machinery failure; an injected partial as a stalled, placement-free
+// result that must not poison the cache (hence *skipStore).
+func (s *Server) injectedSolve(ctx context.Context, creq *canon.Request, skipStore *bool) (*core.Result, error) {
+	fault := s.faults.Check(faultinject.SiteSolver)
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	switch {
+	case fault.Timeout:
+		return nil, context.DeadlineExceeded
+	case fault.Err != nil:
+		return nil, fault.Err
+	case fault.Partial:
+		*skipStore = true
+		return &core.Result{Stalled: true, Reason: csp.StopStalled}, nil
+	}
+	return s.solve(ctx, creq)
 }
 
 // solvePlacement is the production solver: materialise the fabric,
@@ -428,16 +533,9 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 // backtracks, propagations, prunes, incumbents) are attributed to that
 // span on return.
 func (s *Server) solvePlacement(ctx context.Context, creq *canon.Request) (*core.Result, error) {
-	dev, err := fabric.ByName(creq.Fabric)
+	region, err := regionFor(creq)
 	if err != nil {
 		return nil, err
-	}
-	region := dev.FullRegion()
-	if creq.Region != (grid.Rect{}) {
-		region = dev.Region(creq.Region)
-		if region.W() <= 0 || region.H() <= 0 {
-			return nil, fmt.Errorf("region %v lies outside fabric %s", creq.Region, creq.Fabric)
-		}
 	}
 	opts := creq.Options.Options()
 	opts.Metrics = s.cfg.Registry
@@ -465,22 +563,28 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the wire form of GET /v1/stats.
 type StatsResponse struct {
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	Requests      int64      `json:"requests"`
-	CacheHits     int64      `json:"cacheHits"`
-	DedupHits     int64      `json:"dedupHits"`
-	Solves        int64      `json:"solves"`
-	SolveErrors   int64      `json:"solveErrors"`
-	Rejected      int64      `json:"rejected"`
-	Timeouts      int64      `json:"timeouts"`
-	Canceled      int64      `json:"canceled"`
-	HitRatio      float64    `json:"hitRatio"`
-	QueueDepth    int        `json:"queueDepth"`
-	InFlight      int        `json:"inFlight"`
-	Workers       int        `json:"workers"`
-	MaxInFlight   int        `json:"maxInFlight"`
-	Cache         CacheStats `json:"cache"`
-	SLO           SLOStats   `json:"slo"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Requests      int64   `json:"requests"`
+	CacheHits     int64   `json:"cacheHits"`
+	DedupHits     int64   `json:"dedupHits"`
+	Solves        int64   `json:"solves"`
+	SolveErrors   int64   `json:"solveErrors"`
+	Rejected      int64   `json:"rejected"`
+	Timeouts      int64   `json:"timeouts"`
+	Canceled      int64   `json:"canceled"`
+	// Degraded counts requests answered with an approximate placement
+	// after the exact solve missed its deadline or was shed.
+	Degraded    int64      `json:"degraded"`
+	HitRatio    float64    `json:"hitRatio"`
+	QueueDepth  int        `json:"queueDepth"`
+	InFlight    int        `json:"inFlight"`
+	Workers     int        `json:"workers"`
+	MaxInFlight int        `json:"maxInFlight"`
+	Cache       CacheStats `json:"cache"`
+	SLO         SLOStats   `json:"slo"`
+	// Faults snapshots fault-injection fires ("site:mode" -> count);
+	// omitted when injection is disabled.
+	Faults map[string]int64 `json:"faults,omitempty"`
 }
 
 // Stats snapshots the daemon counters. HitRatio counts both cache hits
@@ -496,12 +600,16 @@ func (s *Server) Stats() StatsResponse {
 		Rejected:      s.rejected.Value(),
 		Timeouts:      s.timeouts.Value(),
 		Canceled:      s.canceled.Value(),
+		Degraded:      s.degraded.Value(),
 		QueueDepth:    s.pool.QueueDepth(),
 		InFlight:      s.pool.InFlight(),
 		Workers:       s.cfg.Workers,
 		MaxInFlight:   s.cfg.MaxInFlight,
 		Cache:         s.cache.Stats(),
 		SLO:           s.slo.Stats(s.cfg.SLOWindow),
+	}
+	if s.faults != nil {
+		st.Faults = s.faults.Stats()
 	}
 	if st.Requests > 0 {
 		st.HitRatio = float64(st.CacheHits+st.DedupHits) / float64(st.Requests)
@@ -515,11 +623,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // writePlacement serves a (possibly cached) placement body. The body
 // bytes are identical for every request of the same canonical
-// instance; the hit/miss distinction travels in the X-Cache header so
-// it cannot perturb the payload.
-func writePlacement(w http.ResponseWriter, body []byte, digest canon.Digest, hit bool) {
+// instance; the per-request hit/miss and exact/approximate
+// distinctions travel in the X-Cache and X-Placement-Quality headers
+// so they cannot perturb the payload.
+func writePlacement(w http.ResponseWriter, body []byte, digest canon.Digest, hit bool, quality string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Placement-Digest", digest.String())
+	w.Header().Set("X-Placement-Quality", quality)
 	if hit {
 		w.Header().Set("X-Cache", "hit")
 	} else {

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSLOWindowEdges is the table-driven edge suite for the rolling
+// bucket ring: exact window boundaries (a request n-1 seconds old is
+// the last one a n-second window sees), full 3600-bucket wrap-around,
+// empty windows, clamping, and the latency-objective boundary.
+func TestSLOWindowEdges(t *testing.T) {
+	type obs struct {
+		atSec  int64 // offset from the test epoch
+		dur    time.Duration
+		status int
+	}
+	const epoch = int64(3_000_000)
+	objective := 100 * time.Millisecond
+
+	cases := []struct {
+		name     string
+		observe  []obs
+		readAt   int64 // offset from epoch
+		window   time.Duration
+		want     SLOWindowStats
+		wantVacr bool // expect the vacuous ratios (1, 1)
+	}{
+		{
+			name:     "empty tracker is vacuously attained",
+			readAt:   0,
+			window:   time.Minute,
+			want:     SLOWindowStats{Availability: 1, LatencyAttainment: 1},
+			wantVacr: true,
+		},
+		{
+			name:    "request at the trailing edge is still counted",
+			observe: []obs{{atSec: 0, dur: time.Millisecond, status: 200}},
+			// A 60s window read at epoch+59 spans seconds [epoch, epoch+59].
+			readAt: 59,
+			window: time.Minute,
+			want:   SLOWindowStats{Requests: 1, Available: 1, WithinLatency: 1, Availability: 1, LatencyAttainment: 1},
+		},
+		{
+			name:     "request one second past the trailing edge is dropped",
+			observe:  []obs{{atSec: 0, dur: time.Millisecond, status: 200}},
+			readAt:   60,
+			window:   time.Minute,
+			want:     SLOWindowStats{Availability: 1, LatencyAttainment: 1},
+			wantVacr: true,
+		},
+		{
+			name:    "hour window sees its own trailing edge",
+			observe: []obs{{atSec: 0, dur: time.Millisecond, status: 200}},
+			readAt:  sloBucketSeconds - 1,
+			window:  time.Hour,
+			want:    SLOWindowStats{Requests: 1, Available: 1, WithinLatency: 1, Availability: 1, LatencyAttainment: 1},
+		},
+		{
+			name: "full ring wrap does not resurrect stale buckets",
+			observe: []obs{
+				{atSec: 0, dur: time.Millisecond, status: 200},
+				// Exactly one ring period later this lands in the SAME
+				// slot; the stale counts must be overwritten, not added.
+				{atSec: sloBucketSeconds, dur: time.Millisecond, status: 500},
+			},
+			readAt: sloBucketSeconds,
+			window: time.Hour,
+			want:   SLOWindowStats{Requests: 1, Available: 0, WithinLatency: 0, Availability: 0, LatencyAttainment: 0},
+		},
+		{
+			name: "sub-second window clamps to one bucket",
+			observe: []obs{
+				{atSec: 0, dur: time.Millisecond, status: 200},
+				{atSec: 1, dur: time.Millisecond, status: 500},
+			},
+			readAt: 1,
+			window: time.Nanosecond,
+			want:   SLOWindowStats{Requests: 1, Available: 0, WithinLatency: 0, Availability: 0, LatencyAttainment: 0},
+		},
+		{
+			name:     "oversized window clamps to the ring depth",
+			observe:  []obs{{atSec: 0, dur: time.Millisecond, status: 200}},
+			readAt:   sloBucketSeconds, // one second beyond the clamped horizon
+			window:   24 * time.Hour,
+			want:     SLOWindowStats{Availability: 1, LatencyAttainment: 1},
+			wantVacr: true,
+		},
+		{
+			name: "latency exactly at the objective counts as fast",
+			observe: []obs{
+				{atSec: 0, dur: objective, status: 200},
+				{atSec: 0, dur: objective + time.Nanosecond, status: 200},
+			},
+			readAt: 0,
+			window: time.Minute,
+			want:   SLOWindowStats{Requests: 2, Available: 2, WithinLatency: 1, Availability: 1, LatencyAttainment: 0.5},
+		},
+		{
+			name: "5xx is neither available nor fast; a prompt 4xx is both",
+			observe: []obs{
+				{atSec: 0, dur: time.Millisecond, status: 503},
+				{atSec: 0, dur: time.Millisecond, status: 429},
+				{atSec: 0, dur: time.Millisecond, status: 200},
+			},
+			readAt: 0,
+			window: time.Minute,
+			want:   SLOWindowStats{Requests: 3, Available: 2, WithinLatency: 2, Availability: 2.0 / 3, LatencyAttainment: 2.0 / 3},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{}
+			tr := newSLOTracker(objective)
+			tr.now = clk.now
+			for _, o := range tc.observe {
+				clk.sec = epoch + o.atSec
+				tr.Observe(o.dur, o.status)
+			}
+			clk.sec = epoch + tc.readAt
+			got := tr.Window(tc.window)
+			if got != tc.want {
+				t.Fatalf("window: got %+v, want %+v", got, tc.want)
+			}
+			if tc.wantVacr && (got.Requests != 0 || got.Availability != 1 || got.LatencyAttainment != 1) {
+				t.Fatalf("expected vacuous attainment, got %+v", got)
+			}
+		})
+	}
+}
+
+// TestSLOBucketReuseWithinRing: two requests in the same second share
+// a bucket; a request one second later starts a fresh one, and both
+// remain visible inside the window.
+func TestSLOBucketReuseWithinRing(t *testing.T) {
+	clk := &fakeClock{sec: 4_000_000}
+	tr := newSLOTracker(100 * time.Millisecond)
+	tr.now = clk.now
+
+	tr.Observe(time.Millisecond, 200)
+	tr.Observe(time.Millisecond, 200)
+	clk.sec++
+	tr.Observe(time.Millisecond, 200)
+
+	if w := tr.Window(time.Minute); w.Requests != 3 || w.Available != 3 {
+		t.Fatalf("adjacent buckets: %+v", w)
+	}
+	if w := tr.Window(time.Second); w.Requests != 1 {
+		t.Fatalf("1s window spans more than the current bucket: %+v", w)
+	}
+}

@@ -1,0 +1,62 @@
+#!/bin/sh
+# chaos.sh — fault-injected soak of the placement daemon, as run by the
+# CI "chaos" job (and `make chaos` locally): build cmd/placed and
+# cmd/loadgen under -race, start the daemon with a mixed fault spec
+# (forced cache misses, broken request dedup, queue shedding, solver
+# deadline misses and latency) and graceful degradation on, then replay
+# a seeded workload stream through the retrying client. loadgen exits
+# non-zero if any 200 response carries an invalid placement or an
+# undocumented status, and prints a JSON summary. The run is
+# reproducible: same FAULTS/SEED, same decisions.
+set -eu
+
+PORT="${PORT:-18731}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+FAULTS="${FAULTS:-cache:error:0.3;singleflight:error:0.2;queue:error:0.2;solver:timeout:0.3;solver:latency:0.5:5ms}"
+SEED="${SEED:-1}"
+REQUESTS="${REQUESTS:-150}"
+CONCURRENCY="${CONCURRENCY:-8}"
+WORKDIR="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+go build -race -o "$WORKDIR/placed" ./cmd/placed
+go build -race -o "$WORKDIR/loadgen" ./cmd/loadgen
+
+"$WORKDIR/placed" -addr "$ADDR" -workers 4 -max-inflight 8 \
+    -faults "$FAULTS" -faults-seed "$SEED" -degrade \
+    -access-log "$WORKDIR/access.log" &
+DAEMON_PID=$!
+
+i=0
+until curl -sf "$BASE/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "chaos: daemon never became healthy on $BASE" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "chaos: daemon healthy on $BASE, faults: $FAULTS"
+
+"$WORKDIR/loadgen" -addr "$BASE" -requests "$REQUESTS" \
+    -concurrency "$CONCURRENCY" -seed "$SEED" -v
+echo "chaos: $REQUESTS workloads survived the fault mix"
+
+STATS="$(curl -sf "$BASE/v1/stats")"
+echo "$STATS"
+case "$STATS" in
+*'"faults"'*) ;;
+*)
+    echo "chaos: /v1/stats reports no fault counters despite -faults" >&2
+    exit 1
+    ;;
+esac
+
+kill "$DAEMON_PID"
+wait "$DAEMON_PID" || {
+    echo "chaos: daemon exited non-zero on SIGTERM" >&2
+    exit 1
+}
+DAEMON_PID=""
+echo "chaos: clean shutdown"
