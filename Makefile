@@ -43,9 +43,9 @@ fmt-check:
 solverlint:
 	$(GO) run ./cmd/solverlint ./...
 
-# Full lint: solverlint always; staticcheck and govulncheck when their
-# pinned binaries are on PATH (install with `make tools`).
-lint: solverlint
+# Full lint: go vet and solverlint always; staticcheck and govulncheck
+# when their pinned binaries are on PATH (install with `make tools`).
+lint: vet solverlint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else \

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -26,6 +29,18 @@ func TestInScope(t *testing.T) {
 		{"nakedpanic", "repro/internal/grid", true},
 		{"nakedpanic", "repro/cmd/placer", false},
 		{"nakedpanic", "repro/examples/quickstart", false},
+		{"lockscope", "repro/internal/service", true},
+		{"lockscope", "repro/internal/csp", true},
+		{"lockscope", "repro/internal/workload", false},
+		{"ctxflow", "repro/internal/service", true},
+		{"ctxflow", "repro/internal/client", true},
+		{"ctxflow", "repro/internal/csp", false},
+		{"goroleak", "repro/internal/obs", true},
+		{"goroleak", "repro/internal/netlist", false},
+		{"atomicsafe", "repro/internal/anything", true},
+		{"atomicsafe", "repro/cmd/placer", false},
+		{"syncmisuse", "repro/internal/service", true},
+		{"syncmisuse", "repro/examples/quickstart", false},
 	}
 	for _, c := range cases {
 		if got := inScope(c.analyzer, c.path); got != c.want {
@@ -60,15 +75,34 @@ func TestScopesCoverAllAnalyzers(t *testing.T) {
 }
 
 func analyzersUnderTest() []string {
-	return []string{"clonecomplete", "nondeterminism", "obsgate", "optvalidate", "nakedpanic"}
+	return []string{
+		"clonecomplete", "nondeterminism", "obsgate", "optvalidate", "nakedpanic",
+		"lockscope", "ctxflow", "goroleak", "atomicsafe", "syncmisuse",
+	}
 }
 
-// TestRunCleanModule runs the full driver pipeline over a tiny
-// synthetic module and expects zero findings and zero errors.
-func TestRunCleanModule(t *testing.T) {
+// writeModule materializes a throwaway module whose packages sit under
+// internal/ so the repo's scope fragments match them.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
 	dir := t.TempDir()
-	files := map[string]string{
-		"go.mod": "module clean\n\ngo 1.22\n",
+	files["go.mod"] = "module throwaway\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunCleanModule runs the library pipeline over a tiny synthetic
+// module and expects zero findings and zero errors.
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
 		"internal/csp/p.go": `
 // Package csp is a miniature stand-in with fully compliant code.
 package csp
@@ -89,21 +123,119 @@ type eq struct{ c int }
 func (p *eq) Propagate(st *Store) error      { return nil }
 func (p *eq) CloneFor(ctx *CloneCtx) Propagator { return &eq{c: p.c} }
 `,
-	}
-	for name, src := range files {
-		path := filepath.Join(dir, name)
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	n, err := run(dir, []string{"./..."})
+	})
+	diags, err := run(dir, []string{"./..."})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if n != 0 {
-		t.Fatalf("run reported %d findings on compliant code", n)
+	if len(diags) != 0 {
+		t.Fatalf("run reported %d findings on compliant code: %v", len(diags), diags)
+	}
+}
+
+func TestExitCleanOnFindingFreeModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/ok/ok.go": `
+// Package ok is finding-free.
+package ok
+
+// Double doubles.
+func Double(n int) int { return 2 * n }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-dir", dir, "./..."}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitClean, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote diagnostics: %s", stdout.String())
+	}
+}
+
+func TestExitFindingsOnDiagnostics(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/bad/bad.go": `
+// Package bad trips nakedpanic.
+package bad
+
+func boom() {
+	panic("undocumented")
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-dir", dir, "./..."}, &stdout, &stderr); code != exitFindings {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitFindings, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "nakedpanic") {
+		t.Errorf("diagnostic output missing the analyzer name: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary: %s", stderr.String())
+	}
+}
+
+func TestExitErrorOnBrokenModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/broken/broken.go": `
+// Package broken does not type-check.
+package broken
+
+func f() int { return undefinedIdentifier }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-dir", dir, "./..."}, &stdout, &stderr); code != exitError {
+		t.Fatalf("exit code = %d, want %d (stdout: %s)", code, exitError, stdout.String())
+	}
+	if stderr.Len() == 0 {
+		t.Error("load error produced no stderr explanation")
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/bad/bad.go": `
+// Package bad trips nakedpanic.
+package bad
+
+func boom() {
+	panic("undocumented")
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-json", "-dir", dir, "./..."}, &stdout, &stderr); code != exitFindings {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitFindings, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "nakedpanic" || f.Line != 6 || filepath.Base(f.File) != "bad.go" || f.Message == "" {
+		t.Errorf("unexpected finding payload: %+v", f)
+	}
+}
+
+func TestJSONCleanRunIsEmptyArray(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/ok/ok.go": `
+// Package ok is finding-free.
+package ok
+
+// Triple triples.
+func Triple(n int) int { return 3 * n }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-json", "-dir", dir, "./..."}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitClean, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json run = %q, want empty array", got)
 	}
 }

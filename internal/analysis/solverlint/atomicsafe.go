@@ -1,0 +1,156 @@
+package solverlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicSafe enforces all-or-nothing atomics: once any access to a
+// variable goes through sync/atomic (atomic.LoadInt64(&s.n),
+// atomic.AddInt64(&s.n, 1), ...), every access must — a plain read
+// races with the atomic writers, and a plain write tears under the
+// atomic readers. The typed atomic wrappers (atomic.Int64 and
+// friends) make this unrepresentable, which is why the serving path
+// prefers them; this analyzer guards the residual function-based
+// sites.
+//
+// Mechanics: the package is scanned for &x arguments of sync/atomic
+// calls; the addressed variables (struct fields or package-level/local
+// vars, resolved through the type checker) form the atomic set. Any
+// other reference to a variable in that set, outside an &x argument
+// of a sync/atomic call, is reported.
+var AtomicSafe = &Analyzer{
+	Name: "atomicsafe",
+	Doc:  "a variable accessed via sync/atomic anywhere may never be read or written plainly elsewhere",
+	Run:  runAtomicSafe,
+}
+
+func runAtomicSafe(pass *Pass) error {
+	atomicVars := map[*types.Var]bool{}
+	inAtomicArg := map[ast.Node]bool{}
+
+	// Pass 1: collect the variables addressed by sync/atomic calls and
+	// remember the exact reference nodes so pass 2 skips them.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if v := referencedVar(pass, un.X); v != nil {
+					atomicVars[v] = true
+					markRefs(un.X, inAtomicArg)
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other reference to an atomic variable is a plain
+	// (racy) access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if inAtomicArg[n] {
+				return true
+			}
+			var v *types.Var
+			var name string
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if inAtomicArg[n] {
+					return true
+				}
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if f, ok := sel.Obj().(*types.Var); ok && atomicVars[f] {
+						v, name = f, types.ExprString(n)
+					}
+				}
+			case *ast.Ident:
+				if obj, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && atomicVars[obj] {
+					v, name = obj, n.Name
+				}
+			}
+			if v != nil {
+				pass.Reportf(n.Pos(),
+					"plain access to %s, which is accessed with sync/atomic elsewhere in this package: this read/write races with the atomic sites (use sync/atomic here too, or an atomic.%s field)",
+					name, suggestedAtomicType(v.Type()))
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call targets the sync/atomic package's
+// function API.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// referencedVar resolves expr (the operand of an & argument) to the
+// variable it addresses: a struct field for selector expressions, the
+// object itself for identifiers.
+func referencedVar(pass *Pass, expr ast.Expr) *types.Var {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if f, ok := sel.Obj().(*types.Var); ok {
+				return f
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// markRefs records expr and every identifier/selector inside it as
+// part of an atomic call argument.
+func markRefs(expr ast.Expr, marked map[ast.Node]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if n != nil {
+			marked[n] = true
+		}
+		return true
+	})
+}
+
+// suggestedAtomicType names the typed atomic wrapper matching t, for
+// the diagnostic's fix hint.
+func suggestedAtomicType(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	case types.UnsafePointer:
+		return "Pointer"
+	}
+	return "Value"
+}

@@ -1,0 +1,196 @@
+package solverlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context discipline on the request path (the driver
+// scopes it to the request-path packages: service, client,
+// faultinject):
+//
+//   - context.Background() and context.TODO() are banned: every
+//     operation on the request path belongs to some request, and a
+//     fresh root context silently detaches it from cancellation and
+//     deadline propagation. Deliberately detached work (the
+//     singleflight leader's solve) carries an allow pragma naming the
+//     design decision.
+//   - a function that receives a context.Context must actually use it
+//     — an ignored ctx parameter means some callee is running without
+//     the request's cancellation signal (or the parameter is dead
+//     weight and should be dropped).
+//   - a goroutine spawned where a context is in scope must not loop
+//     without consulting it: each for/range loop inside the goroutine
+//     body (or a select it contains) has to reference ctx.Done() or
+//     ctx.Err(), otherwise request cancellation can never stop it.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path packages must thread the request context: no context.Background()/TODO(), no ignored ctx parameters, and goroutine loops must watch ctx.Done()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUnusedCtxParam(pass, fd)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkFreshContext(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineCtxLoops(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFreshContext flags context.Background() and context.TODO().
+func checkFreshContext(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		pass.Reportf(call.Pos(),
+			"context.%s() on the request path detaches this work from request cancellation and deadlines: thread the caller's ctx instead (or allowlist a documented detachment)",
+			name)
+	}
+}
+
+// checkUnusedCtxParam flags named context.Context parameters that the
+// function body never reads.
+func checkUnusedCtxParam(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			if !identUsed(pass, fd.Body, obj) {
+				pass.Reportf(name.Pos(),
+					"context parameter %s is never used: callees run without the request's cancellation signal (thread it through, or drop the parameter)",
+					name.Name)
+			}
+		}
+	}
+}
+
+// identUsed reports whether obj is referenced anywhere inside body.
+func identUsed(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}
+
+// checkGoroutineCtxLoops requires loops inside a spawned goroutine to
+// consult a context when one is in scope at the go statement.
+func checkGoroutineCtxLoops(pass *Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// The goroutine is held to the rule only when a context flows into
+	// it: a ctx-typed parameter of the literal itself, or any
+	// context-typed identifier captured from the enclosing scope.
+	if !referencesContextValue(pass, lit) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			// Ranging over a channel has its own exit signal (close);
+			// ranging over data is bounded.
+			return true
+		default:
+			return true
+		}
+		if !mentionsCtxDone(pass, body) {
+			pass.Reportf(n.Pos(),
+				"goroutine loop never checks ctx.Done()/ctx.Err(): request cancellation cannot stop it (add a ctx.Done() select case or an Err() check)")
+		}
+		// Nested loops are covered by the outer report.
+		return false
+	})
+}
+
+// referencesContextValue reports whether any identifier of type
+// context.Context appears in the literal (parameter or captured).
+func referencesContextValue(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		var obj types.Object
+		if o := pass.TypesInfo.Uses[id]; o != nil {
+			obj = o
+		} else if o := pass.TypesInfo.Defs[id]; o != nil {
+			obj = o
+		}
+		if obj != nil {
+			if _, isVar := obj.(*types.Var); isVar && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsCtxDone reports whether node contains <ctx>.Done() or
+// <ctx>.Err() on a context-typed receiver.
+func mentionsCtxDone(pass *Pass, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return !found
+		}
+		if t := pass.TypeOf(sel.X); t != nil && isContextType(t) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

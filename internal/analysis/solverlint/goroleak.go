@@ -1,0 +1,193 @@
+package solverlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every goroutine spawned in a long-lived package to
+// have a provable exit: a daemon accumulates leaked goroutines until
+// it dies, and the race detector never sees a leak that merely idles.
+// Two rules:
+//
+//   - an unconditional `for { ... }` loop inside the spawned body must
+//     contain an exit path: a return, a break out of the loop, a
+//     receive on ctx.Done(), or a channel receive some sender can
+//     close/complete. A loop with none of those provably never
+//     terminates. Conditional and range loops are accepted: a range
+//     over a channel ends when the channel closes, and a guarded loop
+//     documents its own exit condition.
+//   - a spawned body must not call a serve-forever entry point
+//     (http.ListenAndServe and friends) without an allow pragma: such
+//     a goroutine is process-lifetime by construction, which is
+//     sometimes the design — the pragma records that decision.
+//
+// Named functions launched with `go f()` are resolved within the
+// package and their bodies checked; cross-package launches are outside
+// the analysis (the callee's own package audits it).
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement in long-lived packages needs a provable exit: no unconditional loops without a return/break/ctx.Done()/channel signal, no undocumented serve-forever calls",
+	Run:  runGoroLeak,
+}
+
+// serveForeverNames are net/http entry points that only return on
+// failure.
+var serveForeverNames = map[string]bool{
+	"ListenAndServe": true, "ListenAndServeTLS": true,
+	"Serve": true, "ServeTLS": true,
+}
+
+func runGoroLeak(pass *Pass) error {
+	decls := funcDeclsByObject(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(pass, g, decls)
+			if body == nil {
+				return true
+			}
+			checkGoroutineBody(pass, g, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// funcDeclsByObject indexes the package's function declarations by
+// their types object, so `go f()` and `go recv.m()` resolve to bodies.
+func funcDeclsByObject(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// spawnedBody returns the body the go statement runs: a literal's own
+// body, or the declaration of a same-package function/method.
+func spawnedBody(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.TypesInfo.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.TypesInfo.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+func checkGoroutineBody(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is its own goroutine question only if
+			// spawned, which the outer Inspect over the file catches.
+			return false
+		case *ast.CallExpr:
+			if name, ok := serveForeverCall(pass, n); ok {
+				pass.Reportf(g.Pos(),
+					"goroutine runs %s, which only returns on failure: it lives for the whole process (wire a shutdown path, or allowlist the process-lifetime design)",
+					name)
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !hasExitPath(pass, n) {
+				pass.Reportf(n.Pos(),
+					"unconditional loop in goroutine has no exit path (no return, break, ctx.Done() or channel receive): this goroutine can never terminate")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// serveForeverCall matches http.ListenAndServe-style calls (package
+// function or *http.Server method).
+func serveForeverCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !serveForeverNames[fn.Name()] {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg == nil || pkg.Path() != "net/http" {
+		return "", false
+	}
+	return "http." + fn.Name(), true
+}
+
+// hasExitPath reports whether loop contains, at any depth outside
+// nested function literals, a return, a break that exits it (plain
+// break not swallowed by an inner loop/switch/select, or any labeled
+// break), a ctx.Done()/ctx.Err() reference, or a channel receive.
+func hasExitPath(pass *Pass, loop *ast.ForStmt) bool {
+	found := false
+	// breakDepth counts the break-absorbing constructs between the
+	// inspected node and the flagged loop: a plain break inside one of
+	// those does not exit the flagged loop.
+	breakDepth := 0
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && (breakDepth == 0 || n.Label != nil) {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			breakDepth++
+			defer func() { breakDepth-- }()
+			walkChildren(n, inspect)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Done" || n.Sel.Name == "Err" {
+				if t := pass.TypeOf(n.X); t != nil && isContextType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	}
+	walkChildren(loop, inspect)
+	return found
+}
+
+// walkChildren applies fn to the children of n (not n itself),
+// recursing per fn's return value.
+func walkChildren(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n || m == nil {
+			return true
+		}
+		return fn(m)
+	})
+}

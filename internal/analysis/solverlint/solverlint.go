@@ -32,8 +32,17 @@
 //
 //	//solverlint:allow <analyzer> <reason>
 //
-// on the flagged line or the line directly above it. The reason is
-// mandatory: an undocumented suppression is itself a finding.
+// on the flagged line or the line directly above it. A whole file is
+// exempted from one analyzer with
+//
+//	//solverlint:allow-file <analyzer> <reason>
+//
+// anywhere in the file (conventionally next to the package clause);
+// file scope exists for files whose entire purpose violates an
+// invariant (e.g. a deliberately randomized workload generator), not
+// as a bulk alternative to per-line justification. In both forms the
+// reason is mandatory: an undocumented suppression is itself a
+// finding.
 package solverlint
 
 import (
@@ -79,8 +88,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	allowed map[allowKey]bool
-	diags   []Diagnostic
+	allowed     map[allowKey]bool
+	fileAllowed map[fileAllowKey]bool
+	diags       []Diagnostic
 }
 
 // allowKey identifies one (file, line, analyzer) suppression.
@@ -90,17 +100,36 @@ type allowKey struct {
 	analyzer string
 }
 
-const allowPrefix = "//solverlint:allow "
+// fileAllowKey identifies one (file, analyzer) whole-file suppression.
+type fileAllowKey struct {
+	file     string
+	analyzer string
+}
+
+const (
+	allowPrefix     = "//solverlint:allow "
+	allowFilePrefix = "//solverlint:allow-file "
+)
 
 // buildAllowed indexes every //solverlint:allow comment of the files.
-// A comment covers its own line and the following line, so it can sit
-// at the end of the offending line or directly above the offending
-// declaration.
-func buildAllowed(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+// A line comment covers its own line and the following line, so it can
+// sit at the end of the offending line or directly above the offending
+// declaration. An allow-file comment covers its whole file.
+func buildAllowed(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, map[fileAllowKey]bool) {
 	allowed := map[allowKey]bool{}
+	fileAllowed := map[fileAllowKey]bool{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, allowFilePrefix); ok {
+					name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+					if name == "" || strings.TrimSpace(reason) == "" {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fileAllowed[fileAllowKey{file: pos.Filename, analyzer: name}] = true
+					continue
+				}
 				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
 				if !ok {
 					continue
@@ -118,7 +147,7 @@ func buildAllowed(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 			}
 		}
 	}
-	return allowed
+	return allowed, fileAllowed
 }
 
 // Reportf records a diagnostic at pos unless an allow comment covers
@@ -126,6 +155,9 @@ func buildAllowed(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allowed[allowKey{file: position.Filename, line: position.Line, analyzer: p.Analyzer.Name}] {
+		return
+	}
+	if p.fileAllowed[fileAllowKey{file: position.Filename, analyzer: p.Analyzer.Name}] {
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
@@ -142,13 +174,15 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
 // RunAnalyzer applies a to pkg and returns the surviving diagnostics
 // sorted by position.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	allowed, fileAllowed := buildAllowed(pkg.Fset, pkg.Files)
 	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		allowed:   buildAllowed(pkg.Fset, pkg.Files),
+		Analyzer:    a,
+		Fset:        pkg.Fset,
+		Files:       pkg.Files,
+		Pkg:         pkg.Types,
+		TypesInfo:   pkg.Info,
+		allowed:     allowed,
+		fileAllowed: fileAllowed,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
@@ -173,7 +207,9 @@ func sortDiagnostics(diags []Diagnostic) {
 	})
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five solver
+// invariants of PR 3 followed by the five concurrency/context-safety
+// analyzers of the serving path (the "concsafe" half of the suite).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		CloneComplete,
@@ -181,5 +217,10 @@ func Analyzers() []*Analyzer {
 		ObsGate,
 		OptValidate,
 		NakedPanic,
+		LockScope,
+		CtxFlow,
+		GoroLeak,
+		AtomicSafe,
+		SyncMisuse,
 	}
 }

@@ -1,0 +1,208 @@
+package solverlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncMisuse catches the classic sync-primitive misuse patterns that
+// compile fine and usually even pass tests:
+//
+//   - WaitGroup.Add inside the goroutine it accounts for: the spawn
+//     races with Wait, so Wait can return before the goroutine was
+//     ever counted. Add belongs on the spawning side, before the go
+//     statement.
+//   - WaitGroup.Done on a wait group that no code in the package ever
+//     Adds to: the counter goes negative and panics at runtime, or the
+//     Done is dead ceremony.
+//   - sync types (Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool)
+//     passed or copied by value: the copy has its own state, so the
+//     original's lock no longer guards anything the copy touches.
+//     Parameters and results must use pointers; assignments from an
+//     existing value (x := s.mu, y := *mup) are flagged, composite
+//     literals and fresh declarations are not.
+var SyncMisuse = &Analyzer{
+	Name: "syncmisuse",
+	Doc:  "no WaitGroup.Add inside the spawned goroutine, no Done without a package-visible Add, no sync types copied by value",
+	Run:  runSyncMisuse,
+}
+
+// syncValueTypes are the sync types whose by-value copy is always a
+// bug.
+var syncValueTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+func runSyncMisuse(pass *Pass) error {
+	adds := map[*types.Var]bool{}
+	var dones []struct {
+		v    *types.Var
+		call *ast.CallExpr
+		name string
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkAddInGoroutine(pass, n)
+			case *ast.CallExpr:
+				recv, method := waitGroupCall(pass, n)
+				if recv == nil {
+					return true
+				}
+				switch method {
+				case "Add":
+					adds[recv] = true
+				case "Done":
+					dones = append(dones, struct {
+						v    *types.Var
+						call *ast.CallExpr
+						name string
+					}{recv, n, waitGroupRecvName(n)})
+				}
+			case *ast.FuncDecl:
+				checkSyncByValueSignature(pass, n.Type)
+			case *ast.FuncLit:
+				checkSyncByValueSignature(pass, n.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkSyncCopyExpr(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkSyncCopyExpr(pass, v)
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range dones {
+		if !adds[d.v] {
+			pass.Reportf(d.call.Pos(),
+				"WaitGroup.Done on %s, but nothing in this package ever calls Add on it: the counter underflows and panics (or the Done is dead)",
+				d.name)
+		}
+	}
+	return nil
+}
+
+// checkAddInGoroutine flags wg.Add calls inside a go-spawned literal
+// when the wait group is declared outside the literal (an inner wait
+// group fully owned by the goroutine is fine).
+func checkAddInGoroutine(pass *Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method := waitGroupCall(pass, call)
+		if recv == nil || method != "Add" {
+			return true
+		}
+		// Declared inside the literal: the goroutine owns it.
+		if recv.Pos() >= lit.Pos() && recv.Pos() <= lit.End() {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"WaitGroup.Add inside the spawned goroutine races with Wait: a Wait that runs before this goroutine is scheduled returns early (call Add before the go statement)")
+		return true
+	})
+}
+
+// waitGroupCall matches <recv>.Add/Done/Wait(...) on a sync.WaitGroup
+// receiver and resolves the receiver variable (the addressed field for
+// selector chains, the object for identifiers).
+func waitGroupCall(pass *Pass, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	method := sel.Sel.Name
+	if method != "Add" && method != "Done" && method != "Wait" {
+		return nil, ""
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil || !isNamedSyncType(t, "WaitGroup") {
+		return nil, ""
+	}
+	return referencedVar(pass, sel.X), method
+}
+
+func waitGroupRecvName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return "wait group"
+}
+
+// checkSyncByValueSignature flags non-pointer sync-typed parameters
+// and results.
+func checkSyncByValueSignature(pass *Pass, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if name := syncTypeName(t); name != "" {
+				pass.Reportf(f.Type.Pos(),
+					"sync.%s %s by value: the callee works on a copy whose state diverges from the original (use *sync.%s)",
+					name, what, name)
+			}
+		}
+	}
+	check(ft.Params, "passed")
+	check(ft.Results, "returned")
+}
+
+// checkSyncCopyExpr flags expressions that copy an existing sync value
+// (reading a variable, field, element or dereference of sync type).
+// Fresh values — composite literals, new(T) — are fine.
+func checkSyncCopyExpr(pass *Pass, expr ast.Expr) {
+	switch expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	if name := syncTypeName(t); name != "" {
+		pass.Reportf(expr.Pos(),
+			"copying a sync.%s by value: the copy's state diverges from the original (keep a *sync.%s instead)",
+			name, name)
+	}
+}
+
+// syncTypeName returns the sync type name when t is a non-pointer
+// sync value type (or a same-named fixture stand-in), else "".
+func syncTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	name := named.Obj().Name()
+	if !syncValueTypes[name] {
+		return ""
+	}
+	return name
+}
+
+// isNamedSyncType reports whether t is (a pointer to) a named type
+// with the given sync type name.
+func isNamedSyncType(t types.Type, name string) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}

@@ -1,0 +1,54 @@
+// Package atomicsafe is a fixture: mixed atomic and plain access to
+// the same variable.
+package atomicsafe
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+	miss int64
+}
+
+// Hit and Hits are the good pair: every access to hits goes through
+// sync/atomic.
+func (s *stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) Hits() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Miss increments atomically...
+func (s *stats) Miss() {
+	atomic.AddInt64(&s.miss, 1)
+}
+
+// ...but Misses reads the same field plainly: that read races with
+// Miss.
+func (s *stats) Misses() int64 {
+	return s.miss // want `plain access to s\.miss`
+}
+
+// Reset writes it plainly: the write tears under concurrent readers.
+func (s *stats) Reset() {
+	s.miss = 0 // want `plain access to s\.miss`
+}
+
+// ops is a good package-level counter: all access is atomic.
+var ops int64
+
+func BumpOps() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func Ops() int64 {
+	return atomic.LoadInt64(&ops)
+}
+
+// snapshotMiss reads during a documented stop-the-world window; the
+// pragma records the justification.
+func (s *stats) snapshotMiss() int64 {
+	//solverlint:allow atomicsafe fixture: read under stop-the-world guarantee
+	return s.miss
+}

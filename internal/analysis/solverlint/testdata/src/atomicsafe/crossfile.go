@@ -1,0 +1,12 @@
+package atomicsafe
+
+// refresh lives in a different file from Miss: the atomic set is
+// package-wide, so a plain write here is still caught.
+func (s *stats) refresh() {
+	s.miss = 0 // want `plain access to s\.miss`
+}
+
+// HitTotal is fine from any file: hits stays fully atomic.
+func (s *stats) HitTotal() int64 {
+	return s.Hits()
+}

@@ -1,0 +1,62 @@
+// Package ctxflow is a fixture: context threading discipline on the
+// request path.
+package ctxflow
+
+import "context"
+
+// Threaded is the good path: the context flows into the callee.
+func Threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Detached manufactures a fresh root context.
+func Detached() error {
+	ctx := context.Background() // want `context\.Background\(\) on the request path`
+	return work(ctx)
+}
+
+// Todo hides behind the other fresh-root constructor.
+func Todo() error {
+	return work(context.TODO()) // want `context\.TODO\(\) on the request path`
+}
+
+// Ignored takes a context and never consults it.
+func Ignored(ctx context.Context, n int) int { // want `context parameter ctx is never used`
+	return n * 2
+}
+
+// SpinLoop spawns a goroutine that sees the context but loops without
+// ever consulting it.
+func SpinLoop(ctx context.Context, ch chan int) {
+	go func() {
+		_ = ctx.Value("k")
+		for { // want `goroutine loop never checks ctx\.Done\(\)`
+			ch <- 1
+		}
+	}()
+}
+
+// Pumper is the good goroutine: every loop iteration can observe
+// cancellation.
+func Pumper(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// Detach builds the one sanctioned detached context; the pragma names
+// the design decision.
+func Detach() context.Context {
+	//solverlint:allow ctxflow fixture: deliberately detached maintenance context
+	return context.Background()
+}

@@ -1,0 +1,87 @@
+// Package goroleak is a fixture: goroutine exit discipline in
+// long-lived packages.
+package goroleak
+
+import (
+	"context"
+	"net/http"
+)
+
+// Spin spawns a loop with no way out: no return, no break, no
+// receive.
+func Spin(ch chan<- int) {
+	go func() {
+		for { // want `unconditional loop in goroutine has no exit path`
+			ch <- 1
+		}
+	}()
+}
+
+// Pump is the good shape: cancellation exits the loop.
+func Pump(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// spinForever is an eternal named worker; the analysis follows the go
+// statement to the same-package body.
+func spinForever() {
+	for { // want `unconditional loop in goroutine has no exit path`
+	}
+}
+
+// SpawnNamed launches it.
+func SpawnNamed() {
+	go spinForever()
+}
+
+// tickForever is spawned from crossfile.go only; the loop diagnostic
+// still lands here, on the loop itself.
+func tickForever() {
+	for { // want `unconditional loop in goroutine has no exit path`
+	}
+}
+
+// ServeMetrics parks a goroutine in a serve-forever entry point
+// without recording the decision.
+func ServeMetrics() {
+	go func() { // want `goroutine runs http\.ListenAndServe`
+		http.ListenAndServe("127.0.0.1:0", nil)
+	}()
+}
+
+// ServeDebug runs the process-lifetime debug listener by design; the
+// pragma records it.
+func ServeDebug() {
+	//solverlint:allow goroleak fixture: process-lifetime debug listener by design
+	go func() {
+		http.ListenAndServe("127.0.0.1:0", nil)
+	}()
+}
+
+// Drain is fine: the loop is bounded by its condition.
+func Drain(ch chan int, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			<-ch
+		}
+	}()
+}
+
+// Until is fine: the closed-channel signal breaks the loop.
+func Until(done chan struct{}) {
+	go func() {
+		for {
+			if _, ok := <-done; !ok {
+				break
+			}
+		}
+	}()
+}

@@ -1,0 +1,129 @@
+// Package lockscope is a fixture: blocking operations and leaked
+// locks inside sync.Mutex critical sections.
+package lockscope
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc is the good path: lock, mutate, unlock.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get is the good deferred path.
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// SlowInc sleeps inside the critical section.
+func (c *counter) SlowInc() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking operation while c\.mu is held: time\.Sleep`
+	c.n++
+	c.mu.Unlock()
+}
+
+// Publish sends on a channel while holding the lock.
+func (c *counter) Publish(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.n // want `blocking operation while c\.mu is held: channel send ch`
+}
+
+// WaitSignal receives while holding the lock.
+func (c *counter) WaitSignal(ch chan struct{}) {
+	c.mu.Lock()
+	<-ch // want `blocking operation while c\.mu is held: channel receive <-ch`
+	c.mu.Unlock()
+}
+
+// WaitSelect parks on a bare select while holding the lock.
+func (c *counter) WaitSelect(ch, done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want `blocking operation while c\.mu is held: select with no default case`
+	case <-ch:
+	case <-done:
+	}
+}
+
+// Poll is fine: the select has a default, so it never parks.
+func (c *counter) Poll(ch chan struct{}) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Leak returns early with the lock still held.
+func (c *counter) Leak(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		return c.n // want `return while c\.mu is held`
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// LeakFallThrough never unlocks at all.
+func (c *counter) LeakFallThrough() {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not released on the fall-through path`
+	c.n++
+}
+
+// Branchy is fine: both branches release before falling through.
+func (c *counter) Branchy(flag bool) {
+	c.mu.Lock()
+	if flag {
+		c.n++
+		c.mu.Unlock()
+	} else {
+		c.mu.Unlock()
+	}
+}
+
+type solver struct{}
+
+func (solver) Solve() int { return 0 }
+
+// SolveUnder waits on a solver entry point inside the critical
+// section.
+func (c *counter) SolveUnder(s solver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = s.Solve() // want `blocking operation while c\.mu is held: call to solver entry point Solve`
+}
+
+// Spawn is fine: the goroutine body runs outside the creator's
+// critical section, so its channel send is not under the lock.
+func (c *counter) Spawn(ch chan int) {
+	c.mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	c.mu.Unlock()
+}
+
+// jitterLocked deliberately serializes a tiny delay under the lock;
+// the pragma records the decision.
+func (c *counter) jitterLocked() {
+	c.mu.Lock()
+	//solverlint:allow lockscope fixture: deliberate serialization delay under the lock
+	time.Sleep(time.Microsecond)
+	c.mu.Unlock()
+}

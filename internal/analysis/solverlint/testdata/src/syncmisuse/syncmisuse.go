@@ -1,0 +1,83 @@
+// Package syncmisuse is a fixture: classic sync-primitive misuse.
+package syncmisuse
+
+import "sync"
+
+// AddInside counts the goroutine from inside itself: Wait can return
+// before the goroutine is scheduled.
+func AddInside(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		w := w
+		go func() {
+			wg.Add(1) // want `WaitGroup\.Add inside the spawned goroutine`
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+// AddOutside is the good shape: Add on the spawning side.
+func AddOutside(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+type pool struct {
+	done sync.WaitGroup
+}
+
+// Stop calls Done on a wait group nothing in this package ever Adds
+// to: the counter underflows.
+func (p *pool) Stop() {
+	p.done.Done() // want `nothing in this package ever calls Add`
+}
+
+// lockCopy receives a mutex by value: it locks a private copy.
+func lockCopy(mu sync.Mutex) { // want `sync\.Mutex passed by value`
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// lockPtr is the good signature: the pointer shares the lock.
+func lockPtr(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// copyMu snapshots the hot mutex by value.
+func copyMu(g *guarded) {
+	cp := g.mu // want `copying a sync\.Mutex by value`
+	cp.Lock()
+	cp.Unlock()
+}
+
+// fresh is fine: a new declaration is not a copy of live state.
+func fresh() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// legacyCopy keeps a by-value snapshot during shutdown, when the
+// original is provably quiescent; the pragma records that.
+func legacyCopy(g *guarded) {
+	//solverlint:allow syncmisuse fixture: frozen snapshot during shutdown quiescence
+	cp := g.mu
+	cp.Lock()
+	cp.Unlock()
+}

@@ -96,6 +96,7 @@ func Start(cfg Config) (*Session, error) {
 		s.cpuFile = f
 	}
 	if cfg.PprofAddr != "" {
+		//solverlint:allow goroleak process-lifetime pprof listener: debug-only server with no shutdown path by design
 		go func() {
 			// The server lives for the process; an unusable address is
 			// reported but not fatal.

@@ -442,6 +442,11 @@ func (s *Server) solveAndCache(tr *obs.Trace, out *placeOutcome, creq *canon.Req
 	if queueFault.Timeout {
 		return nil, context.DeadlineExceeded
 	}
+	// The singleflight leader's solve is detached from any one caller
+	// on purpose: followers share its result, so one follower's
+	// cancellation must not abort the work the others are waiting on.
+	// The solve is still bounded by its own grace+solve timeout.
+	//solverlint:allow ctxflow deliberate detachment: shared singleflight solve outlives any single caller
 	ctx, cancel := context.WithTimeout(context.Background(),
 		s.cfg.QueueGrace+creq.Options.Timeout)
 	defer cancel()
