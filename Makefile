@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt-check lint solverlint tools check bench bench-service fuzz smoke chaos clean
+.PHONY: all build test race vet fmt-check lint solverlint tools check bench bench-service benchgate fuzz smoke chaos clean
 
 all: build
 
@@ -80,12 +80,20 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzPlacementValid -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzCanonDigest -fuzztime $(FUZZTIME) ./internal/canon
 	$(GO) test -run xxx -fuzz FuzzBaselineValid -fuzztime $(FUZZTIME) ./internal/baseline
+	$(GO) test -run xxx -fuzz FuzzPresolveEquivalence -fuzztime $(FUZZTIME) ./internal/core
 
 # The serving benchmark pair behind EXPERIMENTS.md: a cached Table-I
 # placement versus the same request re-solved from scratch.
 bench-service:
 	$(GO) test -run xxx -bench BenchmarkServiceCacheHit -benchtime 2s ./internal/service
 	$(GO) test -run xxx -bench BenchmarkServiceColdSolve -benchtime 2x ./internal/service
+
+# The solver benchmark-regression gate: re-solve the pinned scenario
+# set and fail on effort regressions (nodes/backtracks/height) against
+# the committed BENCH_solver.json. Re-baseline after intended changes
+# with `go test -run TestBenchGate -benchgate-update .`.
+benchgate:
+	sh scripts/benchgate.sh
 
 # End-to-end daemon smoke test (requires curl): build cmd/placed, serve
 # the committed smoke request, require miss → byte-identical hit.

@@ -31,6 +31,10 @@ func benchPlacerOptions() core.Options {
 }
 
 // reportPlacement attaches the quality metrics of a placement run.
+// Nodes and backtracks are search-effort metrics: deterministic for a
+// given configuration, they expose presolve/pruning regressions that
+// ns/op alone would hide behind machine noise (scripts/benchgate.sh
+// gates on them).
 func reportPlacement(b *testing.B, res *core.Result) {
 	b.Helper()
 	if !res.Found {
@@ -38,6 +42,8 @@ func reportPlacement(b *testing.B, res *core.Result) {
 	}
 	b.ReportMetric(res.Utilization*100, "util_pct")
 	b.ReportMetric(float64(res.Height), "height_rows")
+	b.ReportMetric(float64(res.Nodes), "nodes")
+	b.ReportMetric(float64(res.Backtracks), "backtracks")
 }
 
 // BenchmarkTable1 regenerates Table I: the same generated module batch
@@ -65,6 +71,23 @@ func BenchmarkTable1(b *testing.B) {
 		var last *core.Result
 		for i := 0; i < b.N; i++ {
 			res, err := placer.Place(mods)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportPlacement(b, last)
+	})
+	// The A/B arm for the presolve layer: identical instance and
+	// convergence criterion, pipeline disabled. Compare nodes and
+	// height_rows against Alternatives for the presolve effect.
+	b.Run("AlternativesPresolveOff", func(b *testing.B) {
+		opts := benchPlacerOptions()
+		opts.Presolve = core.PresolveOff
+		off := core.New(region, opts)
+		var last *core.Result
+		for i := 0; i < b.N; i++ {
+			res, err := off.Place(mods)
 			if err != nil {
 				b.Fatal(err)
 			}

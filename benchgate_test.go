@@ -1,0 +1,219 @@
+// The solver benchmark-regression gate. Wall-clock benchmarks are too
+// noisy to gate a CI job on directly, so the gate pins the solver's
+// *deterministic* effort metrics — search nodes and backtracks of a
+// sequential solve, which are bit-reproducible for a fixed instance and
+// configuration — exactly via a committed baseline (BENCH_solver.json)
+// with a small slack, and uses wall time only as a coarse sanity bound.
+//
+//	go test -run TestBenchGate -benchgate .            # gate against the baseline
+//	go test -run TestBenchGate -benchgate-update .     # re-baseline after an intended change
+//
+// CI runs the gate via scripts/benchgate.sh (`make benchgate`). A
+// failure means the change regressed solver pruning: either fix it, or
+// re-baseline with -benchgate-update and justify the new numbers in the
+// change description.
+package repro_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/module"
+	"repro/internal/workload"
+)
+
+var (
+	benchgateRun    = flag.Bool("benchgate", false, "run the solver benchmark-regression gate against BENCH_solver.json")
+	benchgateUpdate = flag.Bool("benchgate-update", false, "rewrite BENCH_solver.json from the current build")
+)
+
+const benchGatePath = "BENCH_solver.json"
+
+const (
+	// gateEffortSlack bounds nodes and backtracks relative to the
+	// baseline. The metrics are deterministic, so any slack at all is
+	// generosity toward incidental changes (e.g. a reordered propagator
+	// queue); real pruning regressions blow well past 10%.
+	gateEffortSlack = 1.10
+	// gateTimeSlack bounds wall time. CI machines vary widely, so this
+	// only catches catastrophic slowdowns (an accidental O(n²) in a hot
+	// path), not percentage-level drift — that is what nodes are for.
+	gateTimeSlack = 5.0
+)
+
+// gateRecord is one scenario's pinned numbers in BENCH_solver.json.
+type gateRecord struct {
+	Name       string `json:"name"`
+	Height     int    `json:"height"`
+	Optimal    bool   `json:"optimal"`
+	Nodes      int64  `json:"nodes"`
+	Backtracks int64  `json:"backtracks"`
+	NS         int64  `json:"ns"`
+}
+
+type gateFile struct {
+	Comment   string       `json:"comment"`
+	Scenarios []gateRecord `json:"scenarios"`
+}
+
+type gateScenario struct {
+	name   string
+	region *fabric.Region
+	mods   []*module.Module
+	opts   core.Options
+}
+
+// gateScenarios builds the pinned scenario set. All solves are
+// sequential (Workers 0) with no wall-clock timeout, so nodes and
+// backtracks depend only on the instance and the options — the
+// convergence criterion is the experiments' StallNodes. The first two
+// scenarios are the presolve before/after pair on the Table-I
+// alternatives workload: the gate's headline trajectory points.
+func gateScenarios() []gateScenario {
+	table1 := experiments.TableIRegion()
+	t1mods := workload.MustGenerate(workload.Config{}, rand.New(rand.NewSource(1)))
+
+	fig3 := fabric.Spec{Name: "fig3", W: 24, H: 12, BRAMColumns: []int{4, 16}}
+	fig3Mods := workload.MustGenerate(workload.Config{
+		NumModules: 6, CLBMin: 6, CLBMax: 14, BRAMMax: 2, Alternatives: 2,
+	}, rand.New(rand.NewSource(1)))
+
+	fig5 := fabric.Spec{Name: "fig5", W: 36, H: 24, BRAMColumns: []int{5, 17, 29}, DSPColumns: []int{16}}
+	fig5Mods := workload.MustGenerate(workload.Config{
+		NumModules: 12, CLBMin: 8, CLBMax: 24, BRAMMax: 3, Alternatives: 4,
+	}, rand.New(rand.NewSource(5)))
+
+	on := core.Options{StallNodes: 800}
+	off := on
+	off.Presolve = core.PresolveOff
+
+	return []gateScenario{
+		{"table1-alternatives-presolve-off", table1, t1mods, off},
+		{"table1-alternatives-presolve-on", table1, t1mods, on},
+		{"table1-no-alternatives", table1, workload.FirstShapesOnly(t1mods), on},
+		{"fig3-alternatives", fig3.MustBuild().FullRegion(), fig3Mods, on},
+		{"fig5-alternatives", fig5.MustBuild().FullRegion(), fig5Mods, on},
+	}
+}
+
+func runGateScenario(t *testing.T, sc gateScenario) gateRecord {
+	t.Helper()
+	start := time.Now()
+	res, err := core.New(sc.region, sc.opts).Place(sc.mods)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.name, err)
+	}
+	if !res.Found {
+		t.Fatalf("%s: no placement found", sc.name)
+	}
+	if verr := res.Validate(sc.region); verr != nil {
+		t.Fatalf("%s: invalid placement: %v", sc.name, verr)
+	}
+	return gateRecord{
+		Name:       sc.name,
+		Height:     res.Height,
+		Optimal:    res.Optimal,
+		Nodes:      res.Nodes,
+		Backtracks: res.Backtracks,
+		NS:         elapsed.Nanoseconds(),
+	}
+}
+
+// TestBenchGate is skipped by default (a full run is a few dozen
+// seconds of solving) and armed with -benchgate / -benchgate-update.
+func TestBenchGate(t *testing.T) {
+	if !*benchgateRun && !*benchgateUpdate {
+		t.Skip("benchmark-regression gate; run with -benchgate (or -benchgate-update to re-baseline)")
+	}
+
+	var got []gateRecord
+	for _, sc := range gateScenarios() {
+		rec := runGateScenario(t, sc)
+		t.Logf("%s: height=%d optimal=%v nodes=%d backtracks=%d elapsed=%v",
+			rec.Name, rec.Height, rec.Optimal, rec.Nodes, rec.Backtracks, time.Duration(rec.NS))
+		got = append(got, rec)
+	}
+
+	if *benchgateUpdate {
+		out := gateFile{
+			Comment:   "Solver effort baseline for scripts/benchgate.sh. Regenerate with: go test -run TestBenchGate -benchgate-update .",
+			Scenarios: got,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchGatePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", benchGatePath)
+		return
+	}
+
+	data, err := os.ReadFile(benchGatePath)
+	if err != nil {
+		t.Fatalf("missing baseline (re-create with -benchgate-update): %v", err)
+	}
+	var base gateFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("%s: %v", benchGatePath, err)
+	}
+	want := make(map[string]gateRecord, len(base.Scenarios))
+	for _, rec := range base.Scenarios {
+		want[rec.Name] = rec
+	}
+
+	var failures []string
+	for _, rec := range got {
+		b, ok := want[rec.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no baseline entry (re-run -benchgate-update)", rec.Name))
+			continue
+		}
+		if rec.Height != b.Height {
+			failures = append(failures, fmt.Sprintf("%s: height %d, baseline %d", rec.Name, rec.Height, b.Height))
+		}
+		if rec.Optimal != b.Optimal {
+			failures = append(failures, fmt.Sprintf("%s: optimal=%v, baseline %v", rec.Name, rec.Optimal, b.Optimal))
+		}
+		if maxN := int64(float64(b.Nodes) * gateEffortSlack); rec.Nodes > maxN {
+			failures = append(failures, fmt.Sprintf("%s: nodes %d exceeds baseline %d x%.2f = %d",
+				rec.Name, rec.Nodes, b.Nodes, gateEffortSlack, maxN))
+		}
+		if maxB := int64(float64(b.Backtracks) * gateEffortSlack); rec.Backtracks > maxB {
+			failures = append(failures, fmt.Sprintf("%s: backtracks %d exceeds baseline %d x%.2f = %d",
+				rec.Name, rec.Backtracks, b.Backtracks, gateEffortSlack, maxB))
+		}
+		if maxT := int64(float64(b.NS) * gateTimeSlack); rec.NS > maxT {
+			failures = append(failures, fmt.Sprintf("%s: wall time %v exceeds baseline %v x%.0f",
+				rec.Name, time.Duration(rec.NS), time.Duration(b.NS), gateTimeSlack))
+		}
+	}
+	for name := range want {
+		found := false
+		for _, rec := range got {
+			if rec.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			failures = append(failures, fmt.Sprintf("%s: baseline entry has no scenario (stale %s?)", name, benchGatePath))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			t.Error(f)
+		}
+		t.Fatalf("solver effort regressed against %s; if intended, re-baseline with -benchgate-update", benchGatePath)
+	}
+}

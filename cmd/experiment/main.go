@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/online"
@@ -30,6 +31,7 @@ func main() {
 		stall    = flag.Int64("stall", 2000, "optimiser convergence: nodes without improvement")
 		workers  = flag.Int("workers", 1, "parallel search goroutines per solve (>1 enables parallel branch-and-bound)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-solve safety cap")
+		presolve = flag.String("presolve", "on", "presolve pipeline: on, off (A/B escape hatch)")
 		modules  = flag.Int("modules", 0, "modules per run (0 = paper default of 30)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		benchOut = flag.String("bench-out", "BENCH_table1.json", "per-testcase JSON for the table1 experiment (empty disables)")
@@ -42,12 +44,18 @@ func main() {
 	flag.StringVar(&obsCfg.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	pre, err := core.ParsePresolve(*presolve)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", err)
+		os.Exit(1)
+	}
 	cfg := experiments.RunConfig{
 		Runs:       *runs,
 		Seed:       *seed,
 		StallNodes: *stall,
 		Timeout:    *timeout,
 		Workers:    *workers,
+		Presolve:   pre,
 		Workload:   workload.Config{NumModules: *modules},
 		BenchPath:  *benchOut,
 	}

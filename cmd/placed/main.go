@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -59,6 +60,7 @@ type cliOpts struct {
 	sloLatency     time.Duration
 	sloWindow      time.Duration
 	degrade        bool
+	presolve       string
 	faults         string
 	faultsSeed     int64
 }
@@ -77,6 +79,7 @@ func main() {
 	flag.DurationVar(&o.sloLatency, "slo-latency", 500*time.Millisecond, "request-latency objective for /v1/stats SLO accounting")
 	flag.DurationVar(&o.sloWindow, "slo-window", time.Hour, "headline SLO attainment window (max 1h)")
 	flag.BoolVar(&o.degrade, "degrade", true, "serve approximate baseline placements when the exact solve times out or is shed")
+	flag.StringVar(&o.presolve, "presolve", "on", "default presolve mode for requests that set none: on, off")
 	flag.StringVar(&o.faults, "faults", "", "fault-injection rules, e.g. 'solver:timeout:0.2;cache:latency:0.5:10ms' (chaos testing; empty disables)")
 	flag.Int64Var(&o.faultsSeed, "faults-seed", 1, "PRNG seed for -faults, for reproducible chaos runs")
 	flag.Parse()
@@ -128,19 +131,25 @@ func run(o cliOpts) (err error) {
 		fmt.Printf("placed: fault injection ACTIVE: %s (seed %d)\n", faults, o.faultsSeed)
 	}
 
+	presolve, err := core.ParsePresolve(o.presolve)
+	if err != nil {
+		return err
+	}
+
 	svc := service.New(service.Config{
-		Workers:        o.workers,
-		CacheEntries:   o.cacheEntries,
-		MaxInFlight:    o.maxInFlight,
-		DefaultTimeout: o.defaultTimeout,
-		MaxTimeout:     o.maxTimeout,
-		Registry:       reg,
-		Tracer:         tracer,
-		AccessLog:      accessLog,
-		SLOLatency:     o.sloLatency,
-		SLOWindow:      o.sloWindow,
-		Degrade:        o.degrade,
-		Faults:         faults,
+		Workers:         o.workers,
+		CacheEntries:    o.cacheEntries,
+		MaxInFlight:     o.maxInFlight,
+		DefaultTimeout:  o.defaultTimeout,
+		MaxTimeout:      o.maxTimeout,
+		DefaultPresolve: presolve,
+		Registry:        reg,
+		Tracer:          tracer,
+		AccessLog:       accessLog,
+		SLOLatency:      o.sloLatency,
+		SLOWindow:       o.sloWindow,
+		Degrade:         o.degrade,
+		Faults:          faults,
 	})
 	defer svc.Close()
 

@@ -38,6 +38,7 @@ type cliOpts struct {
 	workers     int
 	first       bool
 	strategy    string
+	presolve    string
 	svgPath     string
 	pngPath     string
 	outPath     string
@@ -54,6 +55,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 1, "parallel search goroutines (>1 enables parallel branch-and-bound)")
 	flag.BoolVar(&o.first, "first", false, "stop at the first feasible placement")
 	flag.StringVar(&o.strategy, "strategy", "first-fail", "branching: first-fail, largest-first, input-order")
+	flag.StringVar(&o.presolve, "presolve", "on", "presolve pipeline: on, off (escape hatch for debugging and A/B runs)")
 	flag.StringVar(&o.svgPath, "svg", "", "write an SVG floorplan to this file")
 	flag.StringVar(&o.pngPath, "png", "", "write a PNG floorplan to this file")
 	flag.StringVar(&o.outPath, "out", "", "write the placement file (for checkplacement / external tools)")
@@ -99,6 +101,10 @@ func run(o cliOpts) (err error) {
 	if err != nil {
 		return err
 	}
+	presolve, err := core.ParsePresolve(o.presolve)
+	if err != nil {
+		return err
+	}
 	session, err := obs.Start(o.obs)
 	if err != nil {
 		return err
@@ -115,6 +121,7 @@ func run(o cliOpts) (err error) {
 		Workers:           o.workers,
 		FirstSolutionOnly: o.first,
 		Strategy:          strat,
+		Presolve:          presolve,
 		Recorder:          session.Recorder,
 		Metrics:           session.Registry,
 	})

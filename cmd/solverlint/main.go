@@ -51,15 +51,16 @@ var scopes = map[string][]string{
 	// must replay chaos runs exactly, so its deliberately seeded PRNG
 	// sites are pragma'd too. Workload/netlist generators and
 	// experiment drivers are deliberately seeded-random.
-	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/canon", "internal/obs", "internal/faultinject"},
+	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/presolve", "internal/canon", "internal/obs", "internal/faultinject"},
 	// The zero-alloc-when-disabled contract covers the solver hot
 	// paths instrumented in PR 1 and the request-tracing span model:
 	// span emission must stay nil-guarded so a tracerless daemon pays
 	// nothing. The fault injector makes the same promise: a daemon
 	// without -faults must not pay for the injection sites.
-	"obsgate": {"internal/csp", "internal/geost", "internal/core", "internal/obs", "internal/faultinject"},
-	// Options/OptionError validation lives in the csp kernel.
-	"optvalidate": {"internal/csp"},
+	"obsgate": {"internal/csp", "internal/geost", "internal/core", "internal/presolve", "internal/obs", "internal/faultinject"},
+	// Options/OptionError validation lives in the csp kernel and at
+	// the core request boundary (RequestOptions.Validate).
+	"optvalidate": {"internal/csp", "internal/core"},
 	// Library packages must not panic undocumented; cmd/ and examples/
 	// binaries are user-facing drivers, not libraries.
 	"nakedpanic": {"internal/"},
@@ -67,15 +68,15 @@ var scopes = map[string][]string{
 	// placement service, its client, the fault injector, the span
 	// recorder — and the parallel solver kernel, the packages where a
 	// convoyed mutex stalls live requests.
-	"lockscope": {"internal/service", "internal/client", "internal/faultinject", "internal/obs", "internal/csp"},
+	"lockscope": {"internal/service", "internal/client", "internal/faultinject", "internal/obs", "internal/csp", "internal/presolve"},
 	// Context threading is a request-path contract: the service, its
 	// client, and the fault injector all operate on behalf of some
 	// request and must propagate its cancellation.
-	"ctxflow": {"internal/service", "internal/client", "internal/faultinject"},
+	"ctxflow": {"internal/service", "internal/client", "internal/faultinject", "internal/presolve"},
 	// Goroutine exit proofs matter in the long-lived packages: a
 	// daemon accumulates leaked goroutines until it dies. The solver
 	// kernel's parallel portfolio spawns workers too.
-	"goroleak": {"internal/service", "internal/client", "internal/faultinject", "internal/obs", "internal/csp"},
+	"goroleak": {"internal/service", "internal/client", "internal/faultinject", "internal/obs", "internal/csp", "internal/presolve"},
 	// Atomic access discipline and sync-primitive hygiene are
 	// library-wide invariants, like nakedpanic.
 	"atomicsafe": {"internal/"},

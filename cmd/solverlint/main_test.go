@@ -25,7 +25,13 @@ func TestInScope(t *testing.T) {
 		{"obsgate", "repro/internal/obs", true},
 		{"obsgate", "repro/internal/service", false},
 		{"optvalidate", "repro/internal/csp", true},
-		{"optvalidate", "repro/internal/core", false},
+		{"optvalidate", "repro/internal/core", true},
+		{"optvalidate", "repro/internal/service", false},
+		{"nondeterminism", "repro/internal/presolve", true},
+		{"obsgate", "repro/internal/presolve", true},
+		{"lockscope", "repro/internal/presolve", true},
+		{"ctxflow", "repro/internal/presolve", true},
+		{"goroleak", "repro/internal/presolve", true},
 		{"nakedpanic", "repro/internal/grid", true},
 		{"nakedpanic", "repro/cmd/placer", false},
 		{"nakedpanic", "repro/examples/quickstart", false},

@@ -8,49 +8,92 @@ import (
 	"strings"
 )
 
-// OptValidate keeps csp.Options validation exhaustive: every numeric
-// Options field is a budget or a degree knob whose negative values are
-// nonsense, and Options.withDefaults rejects them with a typed
-// *OptionError so callers can distinguish misconfiguration from solver
-// failure. A new numeric field that skips withDefaults ships an
-// unvalidated knob; this analyzer flags it at the field declaration.
-// The check requires both (a) a reference to the field inside
-// withDefaults and (b) an OptionError composite literal carrying the
-// field's name, so a field that is read but waved through unvalidated
-// is still a finding.
+// OptValidate keeps the options surfaces validated exhaustively: every
+// numeric options field is a budget, a degree knob, or an enum whose
+// out-of-range values are nonsense, and the validator rejects them
+// with a typed *OptionError so callers can distinguish
+// misconfiguration from solver failure. A new numeric field that skips
+// the validator ships an unvalidated knob; this analyzer flags it at
+// the field declaration. The check requires both (a) a reference to
+// the field inside the validator and (b) an OptionError composite
+// literal carrying the field's name, so a field that is read but waved
+// through unvalidated is still a finding.
+//
+// Two (struct, validator) pairs are recognised, matched by receiver
+// type so an unrelated Validate method (e.g. on a result type) never
+// satisfies the check:
+//
+//	Options        → withDefaults   (csp's internal normalisation)
+//	RequestOptions → Validate       (core's request boundary)
+//
+// A package whose Options struct has no validator of its own is exempt
+// when the same package carries a validated RequestOptions: there the
+// public surface is RequestOptions, and Options is the internal
+// pre-validated bag its conversion produces (core.Options).
 var OptValidate = &Analyzer{
 	Name: "optvalidate",
-	Doc:  "numeric Options fields must be covered by the typed OptionError validation in withDefaults",
+	Doc:  "numeric options fields must be covered by the typed OptionError validation (Options.withDefaults / RequestOptions.Validate)",
 	Run:  runOptValidate,
 }
 
+// optValidatePair couples an options struct with the method that must
+// validate it.
+type optValidatePair struct {
+	structName    string
+	validatorName string
+}
+
+var optValidatePairs = []optValidatePair{
+	{"Options", "withDefaults"},
+	{"RequestOptions", "Validate"},
+}
+
 func runOptValidate(pass *Pass) error {
-	opts := lookupStruct(pass, "Options")
-	if opts == nil {
-		return nil // package has no Options struct; nothing to check
+	type check struct {
+		pair      optValidatePair
+		st        *types.Named
+		fields    []*types.Var
+		validator *ast.FuncDecl
 	}
-	numeric := numericFields(opts)
-	if len(numeric) == 0 {
-		return nil
+	var checks []check
+	anyValidated := false
+	for _, pair := range optValidatePairs {
+		st := lookupStruct(pass, pair.structName)
+		if st == nil {
+			continue
+		}
+		fields := numericFields(st)
+		if len(fields) == 0 {
+			continue
+		}
+		v := findValidator(pass, pair.structName, pair.validatorName)
+		if v != nil {
+			anyValidated = true
+		}
+		checks = append(checks, check{pair, st, fields, v})
 	}
-	wd := findWithDefaults(pass)
-	if wd == nil {
-		pass.Reportf(opts.Obj().Pos(),
-			"Options has numeric fields (%s) but no withDefaults method to validate them with OptionError",
-			fieldNames(numeric))
-		return nil
-	}
-	referenced, named := withDefaultsCoverage(pass, wd, numeric)
-	for _, f := range numeric {
-		switch {
-		case !referenced[f.Name()]:
-			pass.Reportf(f.Pos(),
-				"Options.%s is never referenced in withDefaults: add a negative-value check returning *OptionError{Field: %q}",
-				f.Name(), f.Name())
-		case !named[f.Name()]:
-			pass.Reportf(f.Pos(),
-				"Options.%s is read in withDefaults but no OptionError names it: invalid values pass validation silently",
-				f.Name())
+	for _, c := range checks {
+		if c.validator == nil {
+			if anyValidated && c.pair.structName == "Options" {
+				continue // validation lives on the package's RequestOptions boundary
+			}
+			pass.Reportf(c.st.Obj().Pos(),
+				"%s has numeric fields (%s) but no %s method to validate them with OptionError",
+				c.pair.structName, fieldNames(c.fields), c.pair.validatorName)
+			continue
+		}
+		referenced, named := validatorCoverage(pass, c.validator, c.fields)
+		for _, f := range c.fields {
+			switch {
+			case !referenced[f.Name()]:
+				pass.Reportf(f.Pos(),
+					"%s.%s is never referenced in %s: add an invalid-value check returning *OptionError{Field: %q}",
+					c.pair.structName, f.Name(), c.pair.validatorName, f.Name())
+			case !named[f.Name()]:
+				pass.Reportf(f.Pos(),
+					"%s.%s is read in %s but no OptionError names it: invalid values pass validation silently",
+					c.pair.structName, f.Name(), c.pair.validatorName)
+			}
 		}
 	}
 	return nil
@@ -95,11 +138,18 @@ func fieldNames(fields []*types.Var) string {
 	return strings.Join(names, ", ")
 }
 
-// findWithDefaults returns the withDefaults func/method declaration.
-func findWithDefaults(pass *Pass) *ast.FuncDecl {
+// findValidator returns the method declaration named validatorName
+// whose receiver's base type is the struct named structName, or nil.
+// Matching the receiver type keeps an unrelated method of the same
+// name (Result.Validate, say) from satisfying the check.
+func findValidator(pass *Pass, structName, validatorName string) *ast.FuncDecl {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "withDefaults" && fd.Body != nil {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != validatorName || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if receiverTypeName(fd.Recv.List[0].Type) == structName {
 				return fd
 			}
 		}
@@ -107,10 +157,27 @@ func findWithDefaults(pass *Pass) *ast.FuncDecl {
 	return nil
 }
 
-// withDefaultsCoverage scans wd's body and reports, per numeric field
-// name, whether it is referenced through a selector and whether an
-// OptionError composite literal names it in a string literal.
-func withDefaultsCoverage(pass *Pass, wd *ast.FuncDecl, fields []*types.Var) (referenced, named map[string]bool) {
+// receiverTypeName unwraps a receiver type expression (T, *T, or their
+// generic instantiations) to the base type name.
+func receiverTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// validatorCoverage scans the validator's body and reports, per
+// numeric field name, whether it is referenced through a selector and
+// whether an OptionError composite literal names it in a string
+// literal.
+func validatorCoverage(pass *Pass, wd *ast.FuncDecl, fields []*types.Var) (referenced, named map[string]bool) {
 	fieldSet := map[types.Object]string{}
 	for _, f := range fields {
 		fieldSet[f] = f.Name()

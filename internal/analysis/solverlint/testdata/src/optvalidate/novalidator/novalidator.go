@@ -1,0 +1,25 @@
+// Package novalidator is a fixture: a request boundary with numeric
+// fields and no Validate method at all. A decoy Validate on another
+// receiver type must not rescue it.
+package novalidator
+
+import "fmt"
+
+// RequestOptions has knobs but nothing validates them.
+type RequestOptions struct { // want `RequestOptions has numeric fields \(StallNodes, Workers\) but no Validate method`
+	StallNodes int64
+	Workers    int
+}
+
+// Summary is a decoy carrying the package's only Validate method.
+type Summary struct {
+	Total int
+}
+
+// Validate checks the summary, not the options.
+func (s *Summary) Validate() error {
+	if s.Total < 0 {
+		return fmt.Errorf("negative total")
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package requestoptions is a fixture for the RequestOptions/Validate
+// pair: a request boundary whose numeric fields are variously
+// validated, half-validated, and forgotten, plus the core.Options
+// shape — an internal options bag with no validator of its own that is
+// exempt because the package's validated surface is RequestOptions.
+package requestoptions
+
+import "fmt"
+
+// PresolveMode mirrors a core enum knob (integer underlying type).
+type PresolveMode uint8
+
+// RequestOptions mirrors core.RequestOptions.
+type RequestOptions struct {
+	StallNodes int64
+	Workers    int          // want `RequestOptions\.Workers is read in Validate but no OptionError names it`
+	Presolve   PresolveMode // want `RequestOptions\.Presolve is never referenced in Validate`
+	Tags       []string     // non-numeric: exempt
+}
+
+// Options mirrors core.Options: produced by RequestOptions conversion,
+// validated upstream, so no withDefaults here and no finding either.
+type Options struct {
+	StallNodes int64
+	Workers    int
+	Presolve   PresolveMode
+}
+
+// OptionError mirrors core.OptionError.
+type OptionError struct {
+	Field string
+	Value int64
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("invalid RequestOptions.%s: %d", e.Field, e.Value)
+}
+
+// Validate rejects invalid fields with a typed *OptionError.
+func (o RequestOptions) Validate() error {
+	if o.StallNodes < 0 {
+		return &OptionError{Field: "StallNodes", Value: o.StallNodes}
+	}
+	if o.Workers < 0 { // read, but never rejected with an OptionError
+		return fmt.Errorf("bad workers")
+	}
+	return nil
+}
+
+// Report is a decoy: its Validate method must not satisfy the
+// RequestOptions check (receiver-type matching).
+type Report struct {
+	Height int
+}
+
+// Validate checks the report, not the options.
+func (r Report) Validate() error {
+	if r.Height < 0 {
+		return fmt.Errorf("negative height")
+	}
+	return nil
+}

@@ -156,7 +156,8 @@ func Equal(a, b *Request) bool {
 
 // encVersion tags the encoding layout; bump it whenever the frame
 // structure below changes so old digests cannot alias new ones.
-const encVersion = 1
+// Version 2 added RequestOptions.Presolve to the options tail.
+const encVersion = 2
 
 // appendEncoding writes the canonical frame. Every variable-length
 // field is length-prefixed, making the overall encoding injective.
@@ -184,7 +185,7 @@ func (c *Request) appendEncoding(b []byte) []byte {
 		b = binary.AppendVarint(b, int64(r))
 	}
 	b = binary.AppendVarint(b, int64(o.Workers))
-	b = append(b, boolByte(o.StrongPropagation))
+	b = append(b, boolByte(o.StrongPropagation), byte(o.Presolve))
 	return b
 }
 

@@ -117,6 +117,7 @@ func TestDigestSensitivity(t *testing.T) {
 		{"bus-rows", func(r *Request) { r.Options.BusRows = []int{2, 4, 6} }},
 		{"workers", func(r *Request) { r.Options.Workers = 4 }},
 		{"strong-prop", func(r *Request) { r.Options.StrongPropagation = true }},
+		{"presolve", func(r *Request) { r.Options.Presolve = core.PresolveOff }},
 		{"module-dropped", func(r *Request) { r.Modules = r.Modules[:len(r.Modules)-1] }},
 		{"module-renamed", func(r *Request) {
 			m := r.Modules[0]

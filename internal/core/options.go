@@ -35,6 +35,9 @@ type RequestOptions struct {
 	// StrongPropagation adds compulsory-part pruning (see
 	// Options.StrongPropagation).
 	StrongPropagation bool
+	// Presolve toggles the optimality-preserving presolve pipeline
+	// (see Options.Presolve). The zero value runs it.
+	Presolve PresolveMode
 }
 
 // Options expands the request-level options into full solver Options,
@@ -49,29 +52,45 @@ func (o RequestOptions) Options() Options {
 		BusRows:           o.BusRows,
 		Workers:           o.Workers,
 		StrongPropagation: o.StrongPropagation,
+		Presolve:          o.Presolve,
 	}
 }
 
-// Validate reports the first inconsistency in the options.
+// OptionError reports an invalid RequestOptions field value: the typed
+// rejection the request boundary returns so callers can distinguish a
+// misconfigured request from a solver failure.
+type OptionError struct {
+	// Field is the RequestOptions field name.
+	Field string
+	// Value is the rejected value.
+	Value int64
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("core: invalid RequestOptions.%s: %d", e.Field, e.Value)
+}
+
+// Validate reports the first inconsistency in the options as a typed
+// *OptionError.
 func (o RequestOptions) Validate() error {
-	if o.Timeout < 0 {
-		return fmt.Errorf("core: negative Timeout %v", o.Timeout)
-	}
-	if o.StallNodes < 0 {
-		return fmt.Errorf("core: negative StallNodes %d", o.StallNodes)
-	}
-	if o.Workers < 0 {
-		return fmt.Errorf("core: negative Workers %d", o.Workers)
-	}
-	if o.Strategy.String() == "unknown" {
-		return fmt.Errorf("core: unknown Strategy %d", o.Strategy)
-	}
-	if o.ValueOrder.String() == "unknown" {
-		return fmt.Errorf("core: unknown ValueOrder %d", o.ValueOrder)
+	switch {
+	case o.Timeout < 0:
+		return &OptionError{Field: "Timeout", Value: int64(o.Timeout)}
+	case o.StallNodes < 0:
+		return &OptionError{Field: "StallNodes", Value: o.StallNodes}
+	case o.Workers < 0:
+		return &OptionError{Field: "Workers", Value: int64(o.Workers)}
+	case o.Strategy.String() == "unknown":
+		return &OptionError{Field: "Strategy", Value: int64(o.Strategy)}
+	case o.ValueOrder.String() == "unknown":
+		return &OptionError{Field: "ValueOrder", Value: int64(o.ValueOrder)}
+	case o.Presolve.String() == "unknown":
+		return &OptionError{Field: "Presolve", Value: int64(o.Presolve)}
 	}
 	for _, r := range o.BusRows {
 		if r < 0 {
-			return fmt.Errorf("core: negative bus row %d", r)
+			return &OptionError{Field: "BusRows", Value: int64(r)}
 		}
 	}
 	return nil
@@ -107,4 +126,51 @@ func ParseValueOrder(s string) (ValueOrder, error) {
 		}
 	}
 	return 0, fmt.Errorf("core: unknown value order %q", s)
+}
+
+// PresolveMode toggles the optimality-preserving presolve pipeline
+// (dominance elimination, symmetry breaking, bound strengthening and
+// warm start; see internal/presolve). The zero value runs it, so
+// presolve is on by default everywhere a RequestOptions travels.
+type PresolveMode uint8
+
+// Presolve modes.
+const (
+	// PresolveOn runs the presolve pipeline before search (default).
+	PresolveOn PresolveMode = iota
+	// PresolveOff searches the model exactly as built — the escape
+	// hatch for debugging and for measuring presolve's effect.
+	PresolveOff
+)
+
+// String names the mode.
+func (p PresolveMode) String() string {
+	switch p {
+	case PresolveOn:
+		return "on"
+	case PresolveOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// PresolveModes lists the presolve modes in declaration order.
+func PresolveModes() []PresolveMode {
+	return []PresolveMode{PresolveOn, PresolveOff}
+}
+
+// ParsePresolve converts a mode name (as produced by
+// PresolveMode.String) back to the PresolveMode. The empty string
+// selects the default (PresolveOn), so callers can pass an unset
+// flag or config field through unchanged.
+func ParsePresolve(s string) (PresolveMode, error) {
+	if s == "" {
+		return PresolveOn, nil
+	}
+	for _, p := range PresolveModes() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown presolve mode %q", s)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/module"
 	"repro/internal/obs"
+	"repro/internal/presolve"
 )
 
 // Strategy selects the branching-variable heuristic.
@@ -109,6 +110,14 @@ type Options struct {
 	// guaranteed footprint prune their neighbours before being
 	// assigned. More pruning per node, fewer nodes.
 	StrongPropagation bool
+	// Presolve toggles the optimality-preserving presolve pipeline
+	// (dominance elimination, symmetry breaking, bound strengthening,
+	// warm start; see internal/presolve). The zero value (PresolveOn)
+	// runs it before every optimising search; PresolveOff searches the
+	// model exactly as built. First-solution-only mode always skips
+	// presolve: its lex constraints and warm bound shape the *optimal*
+	// search and could exclude the placement a plain dive finds first.
+	Presolve PresolveMode
 	// Recorder, when non-nil, receives the structured solver event
 	// stream (phase markers, branches, backtracks, prunes, incumbents).
 	// Nil keeps the solve free of any recording overhead.
@@ -191,6 +200,56 @@ func (p *Placer) Place(mods []*module.Module) (*Result, error) {
 	// objects' own pointers: under parallel search s is a clone of st,
 	// holding counterpart variables at the same ids.
 	res := &Result{}
+
+	if p.opts.Presolve == PresolveOn && !p.opts.FirstSolutionOnly {
+		if p.opts.Recorder != nil {
+			p.opts.Recorder.Record(obs.Event{Kind: obs.KindPhase, Phase: "presolve"})
+		}
+		presolveT := reg.Timer("phase_presolve")
+		pstats, perr := presolve.Apply(st, k, height)
+		presolveT.Stop()
+		res.PresolveStats = &PresolveStats{
+			AlternativesDropped: pstats.AlternativesDropped,
+			LexConstraints:      pstats.ModulesOrdered,
+			BoundDelta:          pstats.BoundDelta,
+		}
+		reg.Counter("presolve_alternatives_dropped").Add(int64(pstats.AlternativesDropped))
+		reg.Counter("presolve_modules_ordered").Add(int64(pstats.ModulesOrdered))
+		reg.Counter("presolve_bound_delta").Add(int64(pstats.BoundDelta))
+		if perr == csp.ErrInconsistent {
+			// Presolve proved the instance infeasible at the root: same
+			// outcome as an exhausted search that never found a solution.
+			//solverlint:allow nondeterminism Result.Elapsed is reporting-only; no placement decision depends on it
+			res.Elapsed = time.Since(start)
+			res.Reason = csp.StopExhausted
+			return res, nil
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		if pstats.WarmFound {
+			res.PresolveStats.WarmHeight = pstats.WarmObjective
+			reg.Gauge("presolve_warm_objective").Set(float64(pstats.WarmObjective))
+			// Clip the height domain at the warm objective — non-strict,
+			// so every placement as good as the heuristic's survives —
+			// and guide the first dive to the warm placement itself. The
+			// warm assignment is a solution of the clipped model, so the
+			// dive reaches it without backtracking and branch-and-bound
+			// opens with a real incumbent instead of a cold first
+			// plateau.
+			if err := st.SetMax(height, pstats.WarmObjective); err != nil {
+				return nil, fmt.Errorf("core: presolve warm clip: %w", err)
+			}
+			if err := st.Propagate(); err != nil {
+				return nil, fmt.Errorf("core: presolve warm clip: %w", err)
+			}
+			warmVal := make(map[int]int, len(objects))
+			for i, o := range objects {
+				warmVal[o.Place.ID()] = pstats.WarmValues[i]
+			}
+			opts.OrderValues = csp.PreferValues(opts.OrderValues, warmVal)
+		}
+	}
 	snapshot := func(s *csp.Store, best int) {
 		res.Found = true
 		res.Height = best

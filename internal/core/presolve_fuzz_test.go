@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/module"
+)
+
+// FuzzPresolveEquivalence decodes a small random placement instance
+// from the fuzz input and checks the presolve layer's contract
+// differentially against a presolve-off solve of the same instance:
+//
+//   - feasibility must agree — dominance elimination must never drop a
+//     module's last feasible alternative, and symmetry breaking must
+//     keep at least one representative per permutation class;
+//   - the proven optimal height must be identical;
+//   - both placements must be geometrically valid (Result.Validate).
+//
+// Instances are kept tiny (region ≤ 13x12, ≤ 3 modules) so both runs
+// are exhaustive optimality proofs — the only regime in which the
+// equivalence is exact rather than anytime-approximate.
+func FuzzPresolveEquivalence(f *testing.F) {
+	f.Add([]byte{4, 3, 2, 7, 7})
+	f.Add([]byte{1, 5, 3, 3, 3, 3})
+	f.Add([]byte{9, 0, 1, 12})
+	f.Add([]byte{6, 9, 3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		w := 6 + int(data[0])%8 // 6..13
+		h := 6 + int(data[1])%7 // 6..12
+		nMods := 1 + int(data[2])%3
+		region := fabric.Homogeneous(w, h).FullRegion()
+
+		var mods []*module.Module
+		idx := 3
+		for m := 0; m < nMods; m++ {
+			if idx >= len(data) {
+				break
+			}
+			b := data[idx]
+			idx++
+			name := fmt.Sprintf("m%d", m)
+			if b%3 == 0 {
+				n := 2 + int(b/3)%4 // 2..5
+				mods = append(mods, barModule(name, n))
+			} else {
+				mw := 1 + int(b)%3    // 1..3
+				mh := 1 + int(b/16)%3 // 1..3
+				mods = append(mods, rectModule(name, mw, mh))
+			}
+		}
+		if len(mods) == 0 {
+			return
+		}
+
+		// Exhaustive on both sides: no timeout, no stall criterion.
+		resOn, errOn := New(region, Options{Presolve: PresolveOn}).Place(mods)
+		resOff, errOff := New(region, Options{Presolve: PresolveOff}).Place(mods)
+		if (errOn == nil) != (errOff == nil) {
+			t.Fatalf("error mismatch: presolve-on=%v presolve-off=%v", errOn, errOff)
+		}
+		if errOn != nil {
+			return // both rejected the instance identically
+		}
+		if resOn.Found != resOff.Found {
+			t.Fatalf("feasibility mismatch: presolve-on found=%v, presolve-off found=%v (presolve dropped the last feasible placement?)",
+				resOn.Found, resOff.Found)
+		}
+		if !resOn.Found {
+			return
+		}
+		if !resOn.Optimal || !resOff.Optimal {
+			t.Fatalf("exhaustive run not proven optimal: on=%v off=%v", resOn.Optimal, resOff.Optimal)
+		}
+		if resOn.Height != resOff.Height {
+			t.Fatalf("optimal height diverged: presolve-on=%d presolve-off=%d", resOn.Height, resOff.Height)
+		}
+		if err := resOn.Validate(region); err != nil {
+			t.Fatalf("presolve-on placement invalid: %v", err)
+		}
+		if err := resOff.Validate(region); err != nil {
+			t.Fatalf("presolve-off placement invalid: %v", err)
+		}
+	})
+}

@@ -73,10 +73,31 @@ type Result struct {
 	Propagations int64
 	// ObjectiveTrace records every improving solution (objective value,
 	// node count and wall-clock offset), reconstructing the solver's
-	// anytime behaviour. Empty in first-solution-only mode.
+	// anytime behaviour. Empty in first-solution-only mode. When
+	// presolve found a warm placement, the first point is that placement
+	// at node zero.
 	ObjectiveTrace []csp.ObjectivePoint
+	// PresolveStats summarises what the presolve pipeline achieved; nil
+	// when presolve did not run (PresolveOff or first-solution-only).
+	PresolveStats *PresolveStats
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
+}
+
+// PresolveStats reports per-technique presolve effect on one request.
+type PresolveStats struct {
+	// AlternativesDropped counts design alternatives removed by
+	// dominance elimination.
+	AlternativesDropped int
+	// LexConstraints counts symmetry-breaking lex orderings posted
+	// between interchangeable modules.
+	LexConstraints int
+	// BoundDelta is how many rows presolve raised the height objective's
+	// lower bound.
+	BoundDelta int
+	// WarmHeight is the occupied height of the warm-start placement, or
+	// 0 when the heuristic found none.
+	WarmHeight int
 }
 
 // Occupancy paints the placements into a fresh bitmap of the region's

@@ -52,6 +52,39 @@ func DescendingValues(v *Var) []int {
 	return vals
 }
 
+// PreferValues wraps a ValueOrderer so each variable tries a preferred
+// value (keyed by variable id, so the preference survives store
+// cloning) before the inner order. Variables without a preference, or
+// whose preferred value has left the domain, keep the inner order
+// untouched. When the preferences form a solution of the model, the
+// first dive of a depth-first search reproduces it without
+// backtracking — the mechanism behind warm-started branch-and-bound:
+// the heuristic placement becomes the search's first incumbent and
+// every later branch is taken with a real bound already in place.
+func PreferValues(inner ValueOrderer, pref map[int]int) ValueOrderer {
+	if inner == nil {
+		inner = AscendingValues
+	}
+	if len(pref) == 0 {
+		return inner
+	}
+	return func(v *Var) []int {
+		out := inner(v)
+		want, ok := pref[v.ID()]
+		if !ok {
+			return out
+		}
+		for i, val := range out {
+			if val == want {
+				copy(out[1:i+1], out[:i])
+				out[0] = want
+				break
+			}
+		}
+		return out
+	}
+}
+
 // Options configures search.
 type Options struct {
 	// ChooseVar selects the branching variable; default SmallestDomain.

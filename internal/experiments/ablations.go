@@ -74,7 +74,7 @@ func runArm(cfg RunConfig, label string, region *fabric.Region,
 }
 
 func (c RunConfig) placerOptions() core.Options {
-	return core.Options{Timeout: c.Timeout, StallNodes: c.StallNodes, Workers: c.Workers}
+	return core.Options{Timeout: c.Timeout, StallNodes: c.StallNodes, Workers: c.Workers, Presolve: c.Presolve}
 }
 
 // AlternativeCountSweep measures utilization and solve time as the

@@ -57,6 +57,9 @@ type RunConfig struct {
 	// Workers is the number of parallel search goroutines per solve
 	// (0 or 1 = sequential branch-and-bound).
 	Workers int
+	// Presolve toggles the presolve pipeline on every solve (the zero
+	// value runs it; core.PresolveOff is the A/B escape hatch).
+	Presolve core.PresolveMode
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 	// Recorder, when non-nil, receives the solver event stream of every
@@ -162,6 +165,7 @@ func RunTableI(cfg RunConfig) (*TableIResult, error) {
 		Timeout:    cfg.Timeout,
 		StallNodes: cfg.StallNodes,
 		Workers:    cfg.Workers,
+		Presolve:   cfg.Presolve,
 		Recorder:   cfg.Recorder,
 		Metrics:    cfg.Metrics,
 	})

@@ -107,12 +107,23 @@ func (o *Object) Decode(val int) (sid, x, y int) {
 	return sid, x, y
 }
 
+// Encode packs (sid, x, y) into a placement value of this object — the
+// inverse of Decode. Values encode identically across objects of one
+// kernel, which is what makes placements of interchangeable objects
+// directly comparable (symmetry-breaking lex orders rely on this).
+func (o *Object) Encode(sid, x, y int) int { return o.k.encode(sid, x, y) }
+
 // topOf returns the top row bound (y + shape height) of a placement
 // value.
 func (o *Object) topOf(val int) int {
 	sid, _, y := o.Decode(val)
 	return y + o.Shapes[sid].H
 }
+
+// TopOf returns the top row bound (y + shape height) of a placement
+// value: the object's contribution to the occupied height were it
+// placed there.
+func (o *Object) TopOf(val int) int { return o.topOf(val) }
 
 // Assigned reports whether the object's placement is fixed.
 func (o *Object) Assigned() bool { return o.Place.Assigned() }

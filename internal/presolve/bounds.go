@@ -1,0 +1,58 @@
+package presolve
+
+import (
+	"repro/internal/csp"
+	"repro/internal/geost"
+)
+
+// strengthenBound raises the height objective's lower bound with a
+// disjunctive wide-row argument, complementing the geost capacity
+// bound (which only counts tiles, not their horizontal extent): a
+// shape row occupying more than half the region width cannot share a
+// fabric row with any other object's wide row — two subsets of a
+// W-cell row each larger than W/2 intersect by pigeonhole, violating
+// non-overlap regardless of their x offsets. Every placed object
+// therefore contributes at least its cheapest surviving alternative's
+// wide-row count in distinct fabric rows, all below the occupied
+// height.
+func strengthenBound(st *csp.Store, k *geost.Kernel, height *csp.Var) error {
+	total := 0
+	for _, o := range k.Objects() {
+		minWide := -1
+		for sid := range o.Shapes {
+			if !o.ShapePresent(sid) {
+				continue
+			}
+			w := wideRows(&o.Shapes[sid], k.W())
+			if minWide < 0 || w < minWide {
+				minWide = w
+			}
+		}
+		if minWide > 0 {
+			total += minWide
+		}
+	}
+	if total <= height.Min() {
+		return nil
+	}
+	if err := st.SetMin(height, total); err != nil {
+		return err
+	}
+	return st.Propagate()
+}
+
+// wideRows counts the rows of g occupied in more than half the
+// region's width.
+func wideRows(g *geost.ShapeGeom, spaceW int) int {
+	counts := make([]int, g.H)
+	for _, p := range g.Points {
+		counts[p.Y]++
+	}
+	n := 0
+	for _, c := range counts {
+		if 2*c > spaceW {
+			n++
+		}
+	}
+	return n
+}

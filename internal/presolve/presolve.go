@@ -1,0 +1,128 @@
+// Package presolve implements optimality-preserving root-node
+// reductions for the placement model built by internal/core on the
+// geost kernel. Exact branch-and-bound over design alternatives is the
+// paper's headline cost (Table I: enabling alternatives grows the
+// solve time roughly fourfold), yet the raw model still explores
+// subtrees that exact FPGA floorplanners routinely prune. Four
+// techniques run before search, each provably unable to change the
+// optimal occupied height:
+//
+//   - Dominance elimination: a design alternative whose tiles are
+//     pointwise covered by a sibling alternative that is placeable at
+//     every anchor the dominated one is can be dropped — any solution
+//     using the dominated shape maps, anchor for anchor, to one using
+//     the dominator with the same or lower top row.
+//
+//   - Symmetry breaking: interchangeable objects (identical
+//     sid-aligned shape lists and identical placement domains) are
+//     chained with lex-ordering constraints on their placement values,
+//     so the search visits one representative per permutation class
+//     instead of all k! relabelings.
+//
+//   - Lower-bound strengthening: rows of a shape occupying more than
+//     half the region width cannot share a fabric row with another
+//     object's wide row (pigeonhole), so the height objective's lower
+//     bound is raised to the total over objects of their cheapest
+//     alternative's wide-row count. This composes with the geost
+//     capacity bound, which presolve re-propagates after dominance
+//     tightens the per-object minimum demand.
+//
+//   - Warm start: a small portfolio of best-fit-decreasing passes over
+//     the pruned placement domains (plus a local top-row descent)
+//     produces a feasible placement. The caller clips the height
+//     domain at its objective (non-strict, so equal-height optima
+//     survive) and guides the first dive to it with
+//     csp.PreferValues, making the heuristic placement the search's
+//     first incumbent after a backtrack-free dive.
+//
+// The pipeline preserves the optimal objective and feasibility; it may
+// change which of several optimal placements the solver reports (and
+// with it the reported utilization, which is a property of the chosen
+// placement, not of the objective).
+package presolve
+
+import (
+	"sort"
+
+	"repro/internal/csp"
+	"repro/internal/geost"
+)
+
+// Stats reports what each presolve technique achieved on one model.
+type Stats struct {
+	// AlternativesDropped counts design alternatives removed from
+	// placement domains by dominance elimination.
+	AlternativesDropped int
+	// Groups counts the interchangeable-object groups of size >= 2
+	// found by symmetry detection.
+	Groups int
+	// ModulesOrdered counts the lex-ordering constraints posted (one
+	// per object constrained relative to its group predecessor).
+	ModulesOrdered int
+	// BoundDelta is how many rows the height lower bound rose over the
+	// whole pipeline (dominance-tightened capacity reasoning plus the
+	// wide-row disjunctive bound).
+	BoundDelta int
+	// WarmFound reports whether the warm-start heuristic completed a
+	// placement.
+	WarmFound bool
+	// WarmObjective is the occupied height of the warm placement
+	// (meaningful only when WarmFound).
+	WarmObjective int
+	// WarmValues holds the warm placement: one encoded placement value
+	// per kernel object, in object order (nil unless WarmFound).
+	WarmValues []int
+}
+
+// Apply runs the presolve pipeline on the model rooted at st: the
+// kernel's objects with their placement domains, and the height
+// objective posted by PostHeightObjective. It must run before search,
+// on a store with no search decisions applied; the domain prunings and
+// lex constraints it installs are permanent (they are root-node
+// deductions, not search state). On csp.ErrInconsistent the instance
+// is provably infeasible and the caller can skip the search outright.
+func Apply(st *csp.Store, k *geost.Kernel, height *csp.Var) (*Stats, error) {
+	stats := &Stats{}
+	if err := st.Propagate(); err != nil {
+		return stats, err
+	}
+	base := height.Min()
+	if err := dominance(st, k, stats); err != nil {
+		return stats, err
+	}
+	if stats.AlternativesDropped > 0 {
+		// Re-run the capacity bound (and anything else watching the
+		// pruned domains) now that the per-object minimum demand may
+		// have grown.
+		if err := st.Propagate(); err != nil {
+			return stats, err
+		}
+	}
+	if err := strengthenBound(st, k, height); err != nil {
+		return stats, err
+	}
+	stats.BoundDelta = height.Min() - base
+	// Warm start runs before symmetry posts its lex constraints so the
+	// heuristic sees the full (dominance-pruned) domains; the warm
+	// values are then canonicalized against the posted orderings —
+	// interchangeable objects can swap placements freely, so sorting
+	// each group's values into chain order keeps the placement
+	// geometrically identical while making it a solution of the
+	// constrained model, which is what lets the search's first guided
+	// dive reach it without backtracking.
+	warmStart(k, stats)
+	groups := symmetry(st, k, stats)
+	if stats.WarmFound {
+		for _, g := range groups {
+			vals := make([]int, len(g))
+			for gi, idx := range g {
+				vals[gi] = stats.WarmValues[idx]
+			}
+			sort.Ints(vals)
+			for gi, idx := range g {
+				stats.WarmValues[idx] = vals[gi]
+			}
+		}
+	}
+	return stats, nil
+}

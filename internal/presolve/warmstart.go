@@ -1,0 +1,197 @@
+package presolve
+
+import (
+	"sort"
+
+	"repro/internal/geost"
+	"repro/internal/grid"
+)
+
+// warmStart runs bottom-left-decreasing first-fit over the pruned
+// placement domains: objects in decreasing order of their cheapest
+// surviving alternative's tile count (stable on input order), each
+// taking the first candidate value in (y, x, shape) order that does
+// not collide with the occupancy painted so far. Operating on the
+// domains — rather than re-deriving anchors as internal/baseline does —
+// means region bounds, resource compatibility, bus-row attachment and
+// any root-level pruning are all honoured for free, so a completed
+// pass is a feasible placement by construction. Its height seeds the
+// branch-and-bound incumbent; failure to complete simply leaves the
+// search cold (WarmFound=false), never an error.
+// warmKeys orders objects for one first-fit pass: decreasing primary
+// key with the object index as the deterministic tie-break.
+func warmOrder(objs []*geost.Object, key func(o *geost.Object) int) []int {
+	order := make([]int, len(objs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return key(objs[order[a]]) > key(objs[order[b]])
+	})
+	return order
+}
+
+func warmStart(k *geost.Kernel, stats *Stats) {
+	objs := k.Objects()
+	keys := []func(o *geost.Object) int{
+		minTiles,
+		func(o *geost.Object) int { return maxDim(o, false) },
+		func(o *geost.Object) int { return maxDim(o, true) },
+	}
+	for _, key := range keys {
+		vals, top, ok := warmPass(k, warmOrder(objs, key))
+		if !ok {
+			continue
+		}
+		top = descend(k, vals, top)
+		if !stats.WarmFound || top < stats.WarmObjective {
+			stats.WarmFound = true
+			stats.WarmObjective = top
+			stats.WarmValues = vals
+		}
+	}
+}
+
+// descend lowers a feasible placement's occupied height by local moves:
+// as long as every object touching the top row can be re-placed (any
+// alternative, any anchor) strictly below it without colliding with the
+// rest, the top row peels off and the descent repeats one row further
+// down. It mutates vals in place and returns the final height.
+func descend(k *geost.Kernel, vals []int, top int) int {
+	objs := k.Objects()
+	occ := grid.NewBitmap(k.W(), k.H())
+	for i, o := range objs {
+		sid, x, y := o.Decode(vals[i])
+		occ.SetPoints(translate(o.Shapes[sid].Points, grid.Pt(x, y)), true)
+	}
+	for {
+		moved := true
+		for i, o := range objs {
+			if o.TopOf(vals[i]) < top {
+				continue
+			}
+			sid, x, y := o.Decode(vals[i])
+			own := translate(o.Shapes[sid].Points, grid.Pt(x, y))
+			occ.SetPoints(own, false)
+			placed := false
+			o.Place.Domain().ForEach(func(v int) bool {
+				if o.TopOf(v) >= top {
+					return true
+				}
+				nsid, nx, ny := o.Decode(v)
+				g := &o.Shapes[nsid]
+				at := grid.Pt(nx, ny)
+				if occ.AnyAt(g.Points, at) {
+					return true
+				}
+				occ.SetPoints(translate(g.Points, at), true)
+				vals[i] = v
+				placed = true
+				return false
+			})
+			if !placed {
+				occ.SetPoints(own, true)
+				moved = false
+				break
+			}
+		}
+		if !moved {
+			return top
+		}
+		newTop := 0
+		for i, o := range objs {
+			if t := o.TopOf(vals[i]); t > newTop {
+				newTop = t
+			}
+		}
+		top = newTop
+	}
+}
+
+func warmPass(k *geost.Kernel, order []int) (vals []int, maxTop int, ok bool) {
+	objs := k.Objects()
+	occ := grid.NewBitmap(k.W(), k.H())
+	vals = make([]int, len(objs))
+	for _, idx := range order {
+		o := objs[idx]
+		cands := o.Place.Domain().Values()
+		sort.SliceStable(cands, func(a, b int) bool {
+			ta, tb := o.TopOf(cands[a]), o.TopOf(cands[b])
+			if ta != tb {
+				return ta < tb
+			}
+			sa, xa, ya := o.Decode(cands[a])
+			sb, xb, yb := o.Decode(cands[b])
+			if ya != yb {
+				return ya < yb
+			}
+			if xa != xb {
+				return xa < xb
+			}
+			return sa < sb
+		})
+		placed := false
+		for _, v := range cands {
+			sid, x, y := o.Decode(v)
+			g := &o.Shapes[sid]
+			at := grid.Pt(x, y)
+			if occ.AnyAt(g.Points, at) {
+				continue
+			}
+			occ.SetPoints(translate(g.Points, at), true)
+			vals[idx] = v
+			if t := o.TopOf(v); t > maxTop {
+				maxTop = t
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, 0, false
+		}
+	}
+	return vals, maxTop, true
+}
+
+// maxDim returns the largest height (or width) over the object's
+// shapes still present in its domain.
+func maxDim(o *geost.Object, width bool) int {
+	best := 0
+	for sid := range o.Shapes {
+		if !o.ShapePresent(sid) {
+			continue
+		}
+		d := o.Shapes[sid].H
+		if width {
+			d = o.Shapes[sid].W
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// minTiles returns the smallest tile count over the object's shapes
+// still present in its domain.
+func minTiles(o *geost.Object) int {
+	best := -1
+	for sid := range o.Shapes {
+		if !o.ShapePresent(sid) {
+			continue
+		}
+		if n := len(o.Shapes[sid].Points); best < 0 || n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+// translate returns ps shifted by d.
+func translate(ps []grid.Point, d grid.Point) []grid.Point {
+	out := make([]grid.Point, len(ps))
+	for i, p := range ps {
+		out[i] = p.Add(d)
+	}
+	return out
+}

@@ -88,6 +88,7 @@ type OptionsSpec struct {
 	Workers           int    `json:"workers,omitempty"`
 	BusRows           []int  `json:"busRows,omitempty"`
 	StrongPropagation bool   `json:"strongPropagation,omitempty"`
+	Presolve          string `json:"presolve,omitempty"`
 }
 
 // maxRequestBytes bounds the request body; a 30-module batch with four
@@ -228,6 +229,15 @@ func (o *OptionsSpec) toRequestOptions(cfg Config) (core.RequestOptions, error) 
 			return out, err
 		}
 		out.ValueOrder = v
+	}
+	if o.Presolve != "" {
+		p, err := core.ParsePresolve(o.Presolve)
+		if err != nil {
+			return out, err
+		}
+		out.Presolve = p
+	} else {
+		out.Presolve = cfg.DefaultPresolve
 	}
 	if err := out.Validate(); err != nil {
 		return out, err

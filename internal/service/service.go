@@ -65,6 +65,10 @@ type Config struct {
 	// DefaultStallNodes is the convergence criterion substituted when a
 	// request sets none (default 2000, the experiments' default).
 	DefaultStallNodes int64
+	// DefaultPresolve is the presolve mode substituted when a request
+	// sets none. The zero value is core.PresolveOn, so presolve is on
+	// by default; cmd/placed lowers it with -presolve=off.
+	DefaultPresolve core.PresolveMode
 	// Registry receives the daemon's counters and histograms; nil
 	// allocates a private registry (still visible via /v1/stats).
 	Registry *obs.Registry

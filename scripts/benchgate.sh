@@ -1,0 +1,18 @@
+#!/bin/sh
+# benchgate.sh — the solver benchmark-regression gate, as run by the CI
+# "benchgate" job (and `make benchgate` locally). Re-solves the pinned
+# scenario set (Table-I with the presolve pipeline off and on, Table-I
+# without alternatives, Fig. 3, Fig. 5) and fails if search nodes,
+# backtracks, the reached height/optimality, or — with a deliberately
+# loose bound, since wall time is machine-dependent — ns per solve
+# regress against the committed baseline in BENCH_solver.json.
+#
+# After an *intended* change to solver effort, re-baseline with:
+#
+#	go test -run TestBenchGate -benchgate-update .
+#
+# and commit the new BENCH_solver.json alongside the change.
+set -eu
+
+cd "$(dirname "$0")/.."
+exec go test -run TestBenchGate -benchgate -timeout 20m -v .
