@@ -28,6 +28,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'Parallel|Clone|SharedBound|Portfolio' ./internal/csp ./internal/geost ./internal/core
+	$(GO) test -race -count=3 -run 'MaximalEmptyRects|Session' ./internal/online ./internal/service
 
 vet:
 	$(GO) vet ./...

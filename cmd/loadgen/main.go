@@ -17,11 +17,21 @@
 // is non-zero when any invariant was violated, so `make chaos` and CI
 // can gate on it.
 //
+// With -mode sessions the driver targets the stateful online API
+// instead: each worker opens one session, replays a seeded
+// arrive/depart/defrag mix, and mirrors every answer onto a
+// client-side shadow occupancy revalidated with the same oracle the
+// server uses (online.ValidatePlacement). Any divergence — an
+// overlapping placement, an unpriced or invalid relocation, a release
+// the server and shadow disagree on — is a violation and fails the
+// run.
+//
 // Example (against a daemon started with
 // `placed -faults 'solver:timeout:0.3;cache:error:0.2'`):
 //
 //	loadgen -addr http://localhost:8080 -requests 200 -concurrency 8
 //	loadgen -addr http://localhost:8080 -duration 30s   # soak mode
+//	loadgen -addr http://localhost:8080 -mode sessions -requests 200
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 
 type cliOpts struct {
 	addr        string
+	mode        string
 	requests    int
 	duration    time.Duration
 	concurrency int
@@ -61,6 +72,7 @@ type cliOpts struct {
 func main() {
 	var o cliOpts
 	flag.StringVar(&o.addr, "addr", "http://localhost:8080", "base URL of the placed daemon")
+	flag.StringVar(&o.mode, "mode", "batch", "workload mode: batch (stateless /v1/place) or sessions (stateful online API)")
 	flag.IntVar(&o.requests, "requests", 100, "number of workloads to replay (ignored when -duration is set)")
 	flag.DurationVar(&o.duration, "duration", 0, "soak mode: replay workloads for this long instead of a fixed count")
 	flag.IntVar(&o.concurrency, "concurrency", 4, "parallel request workers")
@@ -72,7 +84,16 @@ func main() {
 	flag.BoolVar(&o.verbose, "v", false, "log each violation as it happens")
 	flag.Parse()
 
-	sum, err := run(o, os.Stdout)
+	var sum *summary
+	var err error
+	switch o.mode {
+	case "", "batch":
+		sum, err = run(o, os.Stdout)
+	case "sessions":
+		sum, err = runSessions(o, os.Stdout)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want batch or sessions)", o.mode)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)

@@ -178,3 +178,51 @@ func TestSummaryJSONOnStdout(t *testing.T) {
 		t.Fatalf("decoded summary: %+v", sum)
 	}
 }
+
+// TestRunSessionsClean drives the stateful session mode against a
+// clean service: every worker's shadow occupancy must stay consistent
+// with the server through arrivals, departures and defrag passes.
+func TestRunSessionsClean(t *testing.T) {
+	srv := startService(t, service.Config{Workers: 4, MaxInFlight: 64})
+	var out bytes.Buffer
+	o := baseOpts(srv.URL, 60)
+	o.mode = "sessions"
+	o.verbose = true
+	sum, err := runSessions(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("violations on a clean service: %+v\n%s", sum, out.String())
+	}
+	if sum.Exact == 0 {
+		t.Fatalf("no exact placements: %+v", sum)
+	}
+	if sum.Approximate != 0 {
+		t.Fatalf("approximate placements without saturation: %+v", sum)
+	}
+}
+
+// TestRunSessionsChaos soaks the session path under injected session
+// and defrag faults. Faults fire before any session mutation, so the
+// client shadow must stay consistent — the run may see 503/504s, but
+// never a divergence.
+func TestRunSessionsChaos(t *testing.T) {
+	spec := "session:error:0.15;session:latency:0.3:2ms;defrag:timeout:0.5"
+	inj, err := faultinject.Parse(spec, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startService(t, service.Config{Workers: 4, MaxInFlight: 64, Degrade: true, Faults: inj})
+	var out bytes.Buffer
+	o := baseOpts(srv.URL, 60)
+	o.mode = "sessions"
+	o.verbose = true
+	sum, err := runSessions(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("violations under session chaos: %+v\n%s", sum, out.String())
+	}
+}

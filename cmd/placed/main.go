@@ -22,6 +22,16 @@
 // depth, in-flight solves and rolling SLO attainment, and /v1/fabrics
 // lists the device catalog.
 //
+// The daemon also serves stateful online sessions: POST /v1/sessions
+// opens a fabric-backed session with a selectable greedy manager,
+// POST /v1/sessions/{id}/place admits one arrival (falling back to a
+// CP replan when greedy placement is blocked), DELETE
+// /v1/sessions/{id}/modules/{task} releases a resident, POST
+// /v1/sessions/{id}/defrag compacts the layout and prices every
+// relocation via the frame model, and GET /v1/sessions/{id}/stats
+// reports occupancy and fragmentation. Idle sessions expire after
+// -session-ttl; -max-sessions bounds the table with LRU eviction.
+//
 // Every request is traced: the response carries an X-Trace-Id header,
 // one JSON access-log line per request goes to -access-log (stdout by
 // default), /debug/traces dumps the recent and slowest request
@@ -63,6 +73,8 @@ type cliOpts struct {
 	presolve       string
 	faults         string
 	faultsSeed     int64
+	maxSessions    int
+	sessionTTL     time.Duration
 }
 
 func main() {
@@ -82,6 +94,8 @@ func main() {
 	flag.StringVar(&o.presolve, "presolve", "on", "default presolve mode for requests that set none: on, off")
 	flag.StringVar(&o.faults, "faults", "", "fault-injection rules, e.g. 'solver:timeout:0.2;cache:latency:0.5:10ms' (chaos testing; empty disables)")
 	flag.Int64Var(&o.faultsSeed, "faults-seed", 1, "PRNG seed for -faults, for reproducible chaos runs")
+	flag.IntVar(&o.maxSessions, "max-sessions", 256, "live online sessions before LRU eviction")
+	flag.DurationVar(&o.sessionTTL, "session-ttl", 15*time.Minute, "idle time after which an online session expires")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "placed:", err)
@@ -150,6 +164,8 @@ func run(o cliOpts) (err error) {
 		SLOWindow:       o.sloWindow,
 		Degrade:         o.degrade,
 		Faults:          faults,
+		MaxSessions:     o.maxSessions,
+		SessionTTL:      o.sessionTTL,
 	})
 	defer svc.Close()
 

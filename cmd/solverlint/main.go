@@ -51,13 +51,16 @@ var scopes = map[string][]string{
 	// must replay chaos runs exactly, so its deliberately seeded PRNG
 	// sites are pragma'd too. Workload/netlist generators and
 	// experiment drivers are deliberately seeded-random.
-	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/presolve", "internal/canon", "internal/obs", "internal/faultinject"},
+	// The online managers and the session engine must stay
+	// deterministic too: a session replayed from the same arrival
+	// stream must produce the same placements.
+	"nondeterminism": {"internal/csp", "internal/geost", "internal/core", "internal/presolve", "internal/canon", "internal/obs", "internal/faultinject", "internal/online"},
 	// The zero-alloc-when-disabled contract covers the solver hot
 	// paths instrumented in PR 1 and the request-tracing span model:
 	// span emission must stay nil-guarded so a tracerless daemon pays
 	// nothing. The fault injector makes the same promise: a daemon
 	// without -faults must not pay for the injection sites.
-	"obsgate": {"internal/csp", "internal/geost", "internal/core", "internal/presolve", "internal/obs", "internal/faultinject"},
+	"obsgate": {"internal/csp", "internal/geost", "internal/core", "internal/presolve", "internal/obs", "internal/faultinject", "internal/online"},
 	// Options/OptionError validation lives in the csp kernel and at
 	// the core request boundary (RequestOptions.Validate).
 	"optvalidate": {"internal/csp", "internal/core"},

@@ -137,6 +137,25 @@ type Result struct {
 // when every attempt failed at the transport layer or the context
 // ended first.
 func (c *Client) Do(ctx context.Context, path string, body []byte) (*Result, error) {
+	return c.DoMethod(ctx, http.MethodPost, path, body)
+}
+
+// Get issues a GET with the same retry policy as Do.
+func (c *Client) Get(ctx context.Context, path string) (*Result, error) {
+	return c.DoMethod(ctx, http.MethodGet, path, nil)
+}
+
+// Delete issues a DELETE with the same retry policy as Do. The session
+// release endpoints are idempotent, so retrying a shed DELETE is safe.
+func (c *Client) Delete(ctx context.Context, path string) (*Result, error) {
+	return c.DoMethod(ctx, http.MethodDelete, path, nil)
+}
+
+// DoMethod is Do with an explicit HTTP method; the retry policy (429,
+// 503, response-less transport errors only) is method-independent
+// because those failures all mean the service never took ownership of
+// the request.
+func (c *Client) DoMethod(ctx context.Context, method, path string, body []byte) (*Result, error) {
 	res := &Result{}
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
@@ -147,7 +166,7 @@ func (c *Client) Do(ctx context.Context, path string, body []byte) (*Result, err
 			res.Retries++
 		}
 		res.Attempts++
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -193,21 +212,39 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
-// lastRetryAfter extracts the server's Retry-After hint (seconds form
-// only) from the last response, or 0.
+// lastRetryAfter extracts the server's Retry-After hint from the last
+// response, or 0. RFC 9110 §10.2.3 allows both a delay in seconds and
+// an HTTP-date; both forms are honoured (the date form converts to the
+// delay until that instant, clamped to zero when the date has already
+// passed — a past date means "retry now", not "ignore the header").
 func lastRetryAfter(res *Result) time.Duration {
 	if res.Header == nil {
 		return 0
 	}
-	v := res.Header.Get("Retry-After")
+	return parseRetryAfter(res.Header.Get("Retry-After"), time.Now())
+}
+
+// parseRetryAfter interprets a Retry-After header value relative to
+// now. Malformed values yield 0 (fall back to plain backoff).
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := when.Sub(now)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // backoff computes the sleep before retry k (0-based): capped

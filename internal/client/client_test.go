@@ -190,3 +190,57 @@ func TestRetryAfterParsing(t *testing.T) {
 		t.Fatalf("nil header: %v", got)
 	}
 }
+
+// TestRetryAfterHTTPDate covers the HTTP-date form RFC 9110 also
+// allows: a future date converts to the delay until then, a past date
+// clamps to zero (retry immediately), and a malformed date falls back
+// to plain backoff (0).
+func TestRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"future date", now.Add(42 * time.Second).Format(http.TimeFormat), 42 * time.Second},
+		{"past date clamps to zero", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"rfc850 form", now.Add(5 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 5 * time.Second},
+		{"malformed date", "Fri, 99 Nope 2026 12:00:00 GMT", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.header, now); got != tc.want {
+			t.Fatalf("%s: Retry-After %q: got %v want %v", tc.name, tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterDateFloorsBackoff ends-to-ends the date form: a 429
+// carrying a far-future HTTP-date must floor the next backoff sleep at
+// (about) that delay instead of the bare exponential.
+func TestRetryAfterDateFloorsBackoff(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(90*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := New(srv.URL, Options{Sleep: noSleep(&delays), Jitter: -1, MaxDelay: 2 * time.Minute})
+	res, err := c.Do(context.Background(), "/v1/place", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || res.Attempts != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+	// The date was ~90s out; allow slack for test scheduling, but the
+	// floor must clearly beat the 100ms base backoff.
+	if len(delays) != 1 || delays[0] < 80*time.Second || delays[0] > 90*time.Second {
+		t.Fatalf("delays = %v, want one sleep of ~90s", delays)
+	}
+}

@@ -17,7 +17,8 @@
 //
 //	rule     = site ":" mode ":" rate [":" delay]
 //	rules    = rule { (";" | ",") rule }
-//	site     = "cache" | "singleflight" | "queue" | "solver"
+//	site     = "cache" | "singleflight" | "queue" | "solver" |
+//	           "session" | "defrag"
 //	mode     = "error" | "latency" | "timeout" | "partial"
 //	rate     = probability in (0, 1]
 //	delay    = Go duration, required for mode "latency"
@@ -59,6 +60,15 @@ const (
 	// a deadline miss, an injected partial a stalled search with no
 	// placement, an injected error a solver crash.
 	SiteSolver
+	// SiteSession is session-state access on the online serving path
+	// (create/place/release/stats): an injected error models a lost or
+	// corrupted session backend (→ 503), an injected timeout a session
+	// lock that could not be taken in time (→ 504).
+	SiteSession
+	// SiteDefrag is the session defragmentation solve: an injected error
+	// models a failed compaction (→ 503), an injected timeout a
+	// compaction that exceeded its budget (→ 504).
+	SiteDefrag
 
 	numSites
 )
@@ -74,6 +84,10 @@ func (s Site) String() string {
 		return "queue"
 	case SiteSolver:
 		return "solver"
+	case SiteSession:
+		return "session"
+	case SiteDefrag:
+		return "defrag"
 	}
 	return "unknown"
 }
@@ -85,7 +99,7 @@ func ParseSite(s string) (Site, error) {
 			return site, nil
 		}
 	}
-	return 0, fmt.Errorf("faultinject: unknown site %q (want cache, singleflight, queue or solver)", s)
+	return 0, fmt.Errorf("faultinject: unknown site %q (want cache, singleflight, queue, solver, session or defrag)", s)
 }
 
 // Mode selects what a matching rule injects.

@@ -84,8 +84,7 @@ func PlanCompaction(region *fabric.Region, residents []Resident, opts core.Optio
 		return nil, target, nil
 	}
 
-	// Order the moves: repeatedly pick a pending move whose target tiles
-	// are free in the current occupancy (with earlier moves applied).
+	// Order the moves so each target is free at its turn.
 	occ := grid.NewBitmap(region.W(), region.H())
 	cur := make(map[TaskID][]grid.Point, len(residents))
 	for _, r := range residents {
@@ -93,32 +92,47 @@ func PlanCompaction(region *fabric.Region, residents []Resident, opts core.Optio
 		occ.SetPoints(pts, true)
 		cur[r.ID] = pts
 	}
-
-	type pending struct {
-		id     TaskID
-		shape  int
-		at     grid.Point
-		target []grid.Point
-	}
-	var todo []pending
+	var todo []pendingMove
 	for i, r := range residents {
 		p := target.Placements[i]
 		if p.At == r.At && p.ShapeIndex == r.Shape {
 			continue
 		}
-		todo = append(todo, pending{id: r.ID, shape: p.ShapeIndex, at: p.At, target: p.Tiles()})
+		todo = append(todo, pendingMove{id: r.ID, shape: p.ShapeIndex, at: p.At, target: p.Tiles()})
 	}
+	moves, stuck := orderMoves(occ, cur, todo)
+	if stuck > 0 {
+		return nil, target, fmt.Errorf("online: compaction blocked by a relocation cycle (%d modules)", stuck)
+	}
+	return moves, target, nil
+}
 
+// pendingMove is one relocation awaiting ordering: where a resident
+// must end up (shape/anchor plus the absolute target tiles).
+type pendingMove struct {
+	id     TaskID
+	shape  int
+	at     grid.Point
+	target []grid.Point
+}
+
+// orderMoves sequences relocations so every move's target tiles are
+// free when its turn comes: repeatedly pick any pending move whose
+// target is unoccupied once its own current tiles are vacated (a module
+// leaves its old site atomically during reconfiguration), apply it, and
+// emit it. occ must hold the occupancy of all residents and cur their
+// current absolute tiles; both are advanced in place to the post-move
+// state. The second result is the number of moves left unordered —
+// non-zero means a relocation cycle that cannot be broken without a
+// staging location, and occ/cur then reflect only the ordered prefix.
+func orderMoves(occ *grid.Bitmap, cur map[TaskID][]grid.Point, todo []pendingMove) ([]Move, int) {
 	var moves []Move
 	for len(todo) > 0 {
 		progressed := false
 		for i := 0; i < len(todo); i++ {
 			m := todo[i]
-			// The module's own current tiles don't block its move (it
-			// vacates them atomically during reconfiguration).
 			occ.SetPoints(cur[m.id], false)
-			free := !occ.AnyAt(m.target, grid.Pt(0, 0))
-			if !free {
+			if occ.AnyAt(m.target, grid.Pt(0, 0)) {
 				occ.SetPoints(cur[m.id], true)
 				continue
 			}
@@ -130,10 +144,10 @@ func PlanCompaction(region *fabric.Region, residents []Resident, opts core.Optio
 			i--
 		}
 		if !progressed {
-			return nil, target, fmt.Errorf("online: compaction blocked by a relocation cycle (%d modules)", len(todo))
+			return moves, len(todo)
 		}
 	}
-	return moves, target, nil
+	return moves, 0
 }
 
 // ApplyMoves replays a move plan over a residency snapshot, validating
@@ -158,7 +172,7 @@ func ApplyMoves(region *fabric.Region, residents []Resident, moves []Move) ([]Re
 		r := out[i]
 		occ.SetPoints(r.tiles(), false)
 		next := Resident{ID: r.ID, Module: r.Module, Shape: m.Shape, At: m.At}
-		pts, err := validatePlacement(region, occ, next.Module, Placement{Shape: m.Shape, At: m.At})
+		pts, err := ValidatePlacement(region, occ, next.Module, Placement{Shape: m.Shape, At: m.At})
 		if err != nil {
 			return nil, fmt.Errorf("online: move of %d invalid: %w", m.ID, err)
 		}

@@ -48,6 +48,8 @@ func (c StreamConfig) defaults() StreamConfig {
 // GenerateStream draws a seeded task stream: geometric interarrival
 // gaps and geometric durations around the configured means, each task
 // carrying a freshly generated module.
+//
+//solverlint:allow nondeterminism workload generator: deliberately random, reproducible through the caller's seeded rng
 func GenerateStream(cfg StreamConfig, rng *rand.Rand) ([]Task, error) {
 	cfg = cfg.defaults()
 	geometric := func(mean int) int64 {
@@ -56,6 +58,7 @@ func GenerateStream(cfg StreamConfig, rng *rand.Rand) ([]Task, error) {
 		}
 		// Geometric with success probability 1/mean, support >= 1.
 		n := int64(1)
+		//solverlint:allow nondeterminism draw from the caller's seeded rng: the stream replays from the seed
 		for rng.Float64() > 1.0/float64(mean) && n < int64(mean*10) {
 			n++
 		}

@@ -71,6 +71,25 @@ func (b *base) Release(id TaskID) {
 	b.occ.SetPoints(rec.pts, false)
 }
 
+// Preplace imposes an externally computed placement on the manager: the
+// session engine uses it to re-seed a manager after a CP replan or a
+// defragmentation changed the layout behind the greedy policy's back.
+// The placement is checked exactly like TryPlace would (valid anchor,
+// no overlap); false means the manager did not adopt it.
+func (b *base) Preplace(id TaskID, m *module.Module, p Placement) bool {
+	if _, ok := b.resident[id]; ok {
+		return false
+	}
+	if p.Shape < 0 || p.Shape >= m.NumShapes() {
+		return false
+	}
+	if !b.freeAt(m.Shape(p.Shape), p.At.X, p.At.Y) {
+		return false
+	}
+	b.commit(id, m, p.Shape, p.At.X, p.At.Y)
+	return true
+}
+
 // shapeRange returns the shape indices a manager may use.
 func shapeRange(m *module.Module, useAlternatives bool) int {
 	if useAlternatives {
@@ -303,6 +322,32 @@ func (m *Slot1D) slotsFree(first, need int) bool {
 			return false
 		}
 	}
+	return true
+}
+
+// Preplace implements Preplacer: the imposed placement additionally
+// reserves every slot its footprint touches, keeping the exclusive-slot
+// invariant that Release depends on.
+func (m *Slot1D) Preplace(id TaskID, mod *module.Module, p Placement) bool {
+	if p.Shape < 0 || p.Shape >= mod.NumShapes() {
+		return false
+	}
+	s := mod.Shape(p.Shape)
+	if p.At.X < 0 || m.SlotWidth <= 0 {
+		return false
+	}
+	first := p.At.X / m.SlotWidth
+	last := (p.At.X + s.W() - 1) / m.SlotWidth
+	if last >= len(m.slotBusy) || !m.slotsFree(first, last-first+1) {
+		return false
+	}
+	if !m.base.Preplace(id, mod, p) {
+		return false
+	}
+	for i := first; i <= last; i++ {
+		m.slotBusy[i] = true
+	}
+	m.slotOf[id] = append(m.slotOf[id], rangeInts(first, last-first+1)...)
 	return true
 }
 

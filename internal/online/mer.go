@@ -57,8 +57,20 @@ func MaximalEmptyRects(region *fabric.Region, occ *grid.Bitmap) []grid.Rect {
 		}
 	}
 
-	// Containment filter: drop rectangles contained in another.
-	out := cands[:0]
+	return dropContained(cands)
+}
+
+// dropContained removes candidates contained in another candidate (and
+// later copies of duplicates). It never writes into cands: the inner
+// loop reads cands[j] for every j while results accumulate, so an
+// aliased output (the old `out := cands[:0]`) clobbers entries that
+// later candidates are still compared against. The clobbered values
+// happen to be kept candidates, which keeps the *set* correct today,
+// but only by a fragile argument that any tweak to the filter breaks —
+// and it silently corrupts the caller's slice. The no-mutation contract
+// is pinned by TestDropContainedDoesNotClobberInput.
+func dropContained(cands []grid.Rect) []grid.Rect {
+	out := make([]grid.Rect, 0, len(cands))
 	for i, r := range cands {
 		maximal := true
 		for j, s := range cands {

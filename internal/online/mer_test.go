@@ -73,6 +73,132 @@ func TestMaximalEmptyRectsRespectPlaceability(t *testing.T) {
 	}
 }
 
+// Regression for the containment-filter aliasing bug: the filter used
+// to build its output as `out := cands[:0]`, so every append clobbered
+// an entry of cands that the inner containment loop still reads. The
+// filter must leave its input untouched. The candidate list is crafted
+// so a drop happens before keeps (the first candidate is contained in a
+// later one): with the aliased output, the keeps then shift left over
+// the dropped slot and rewrite the input in place, which this test
+// catches on the old code.
+func TestDropContainedDoesNotClobberInput(t *testing.T) {
+	cands := []grid.Rect{
+		grid.RectXYWH(0, 0, 1, 1), // contained in the next two: dropped first
+		grid.RectXYWH(0, 0, 4, 1),
+		grid.RectXYWH(0, 0, 1, 4),
+		grid.RectXYWH(2, 2, 2, 2),
+		grid.RectXYWH(2, 2, 1, 1), // contained: dropped
+		grid.RectXYWH(5, 5, 3, 3),
+	}
+	orig := make([]grid.Rect, len(cands))
+	copy(orig, cands)
+
+	got := dropContained(cands)
+
+	for i := range cands {
+		if cands[i] != orig[i] {
+			t.Fatalf("dropContained mutated its input: cands[%d] = %v, was %v (cands now %v)",
+				i, cands[i], orig[i], cands)
+		}
+	}
+	want := map[grid.Rect]bool{
+		grid.RectXYWH(0, 0, 4, 1): true,
+		grid.RectXYWH(0, 0, 1, 4): true,
+		grid.RectXYWH(2, 2, 2, 2): true,
+		grid.RectXYWH(5, 5, 3, 3): true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dropContained = %v, want the %d maximal rects", got, len(want))
+	}
+	for _, r := range got {
+		if !want[r] {
+			t.Fatalf("dropContained kept non-maximal %v (out %v)", r, got)
+		}
+	}
+}
+
+// bruteForceMaximalRects is the oracle for TestMaximalEmptyRectsOracle:
+// enumerate every free rectangle of the region (all tiles placeable and
+// unoccupied) and keep exactly those that no one-tile growth keeps
+// free — the definition of a maximal empty rectangle, with none of the
+// sweep's cleverness.
+func bruteForceMaximalRects(region *fabric.Region, occ *grid.Bitmap) []grid.Rect {
+	w, h := region.W(), region.H()
+	isFree := func(r grid.Rect) bool {
+		if r.MinX < 0 || r.MinY < 0 || r.MaxX > w || r.MaxY > h {
+			return false
+		}
+		for _, p := range r.Points() {
+			if !region.PlaceableAt(p.X, p.Y) || occ.Get(p.X, p.Y) {
+				return false
+			}
+		}
+		return true
+	}
+	var out []grid.Rect
+	for y0 := 0; y0 < h; y0++ {
+		for y1 := y0 + 1; y1 <= h; y1++ {
+			for x0 := 0; x0 < w; x0++ {
+				for x1 := x0 + 1; x1 <= w; x1++ {
+					r := grid.Rect{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+					if !isFree(r) {
+						continue
+					}
+					if isFree(grid.Rect{MinX: x0 - 1, MinY: y0, MaxX: x1, MaxY: y1}) ||
+						isFree(grid.Rect{MinX: x0, MinY: y0 - 1, MaxX: x1, MaxY: y1}) ||
+						isFree(grid.Rect{MinX: x0, MinY: y0, MaxX: x1 + 1, MaxY: y1}) ||
+						isFree(grid.Rect{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1 + 1}) {
+						continue
+					}
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestMaximalEmptyRectsOracle cross-checks the sweep against the
+// brute-force all-maximal-rectangles oracle on small random regions
+// with non-placeable holes: the two must agree exactly, as sets, on
+// every instance. Runs under the race job via the ordinary suite.
+func TestMaximalEmptyRectsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		w, h := 2+rng.Intn(7), 2+rng.Intn(7)
+		dev := fabric.Homogeneous(w, h)
+		// Punch static (non-placeable) holes so the free space is
+		// bounded by more than just occupancy.
+		for i := rng.Intn(3); i > 0; i-- {
+			dev.MaskStatic(grid.RectXYWH(rng.Intn(w), rng.Intn(h), 1, 1))
+		}
+		region := dev.FullRegion()
+		occ := grid.NewBitmap(w, h)
+		for i := rng.Intn(w * h); i > 0; i-- {
+			occ.Set(rng.Intn(w), rng.Intn(h), true)
+		}
+
+		got := MaximalEmptyRects(region, occ)
+		want := bruteForceMaximalRects(region, occ)
+		gotSet := map[grid.Rect]bool{}
+		for _, r := range got {
+			if gotSet[r] {
+				t.Fatalf("trial %d (%dx%d): duplicate rect %v in %v\nocc:\n%s", trial, w, h, r, got, occ)
+			}
+			gotSet[r] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%dx%d): got %d rects %v, oracle %d rects %v\nocc:\n%s",
+				trial, w, h, len(got), got, len(want), want, occ)
+		}
+		for _, r := range want {
+			if !gotSet[r] {
+				t.Fatalf("trial %d (%dx%d): oracle rect %v missing from %v\nocc:\n%s", trial, w, h, r, got, occ)
+			}
+		}
+	}
+}
+
 // Properties: every returned rect is empty, maximal, and every free tile
 // is covered by some rect.
 func TestMaximalEmptyRectsProperties(t *testing.T) {

@@ -57,6 +57,14 @@ type Manager interface {
 	Release(id TaskID)
 }
 
+// Preplacer is the optional Manager extension the session engine needs:
+// adopting a placement computed outside the manager (by the CP replanner
+// or the defragmenter) instead of choosing one. All built-in managers
+// implement it via their shared base.
+type Preplacer interface {
+	Preplace(id TaskID, m *module.Module, p Placement) bool
+}
+
 // Stats aggregates one simulation run.
 type Stats struct {
 	Offered  int
@@ -90,15 +98,23 @@ func (s *Stats) String() string {
 
 // departure is a pending release in the event heap.
 type departure struct {
-	at time.Duration
 	t  int64
 	id TaskID
 }
 
 type departureHeap []departure
 
-func (h departureHeap) Len() int            { return len(h) }
-func (h departureHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h departureHeap) Len() int { return len(h) }
+
+// Less orders by departure time, breaking same-tick ties by task id so
+// simultaneous departures release in a deterministic order rather than
+// whatever heap-internal order the insertion sequence produced.
+func (h departureHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].id < h[j].id
+}
 func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
 func (h *departureHeap) Pop() interface{} {
@@ -176,6 +192,7 @@ func SimulateObserved(region *fabric.Region, mgr Manager, tasks []Task, fm fabri
 		var t0 time.Time
 		if reg != nil {
 			reg.Counter("online_requests_total").Inc()
+			//solverlint:allow nondeterminism wall-clock telemetry only: the measured latency feeds a histogram, never a placement decision
 			t0 = time.Now()
 		}
 		p, ok := mgr.TryPlace(task)
@@ -184,6 +201,7 @@ func SimulateObserved(region *fabric.Region, mgr Manager, tasks []Task, fm fabri
 			if ok {
 				outcome = "accepted"
 			}
+			//solverlint:allow nondeterminism wall-clock telemetry only: the measured latency feeds a histogram, never a placement decision
 			reg.Histogram(`online_place_latency_seconds{outcome="` + outcome + `"}`).Observe(time.Since(t0).Seconds())
 		}
 		// Apply any relocations the manager performed for this arrival —
@@ -197,7 +215,7 @@ func SimulateObserved(region *fabric.Region, mgr Manager, tasks []Task, fm fabri
 				}
 				occ.SetPoints(resident[mv.ID], false)
 				occupiedNow -= len(resident[mv.ID])
-				pts, err := validatePlacement(region, occ, rec, Placement{Shape: mv.Shape, At: mv.At})
+				pts, err := ValidatePlacement(region, occ, rec, Placement{Shape: mv.Shape, At: mv.At})
 				if err != nil {
 					return nil, fmt.Errorf("online: manager %s move of %d: %w", mgr.Name(), mv.ID, err)
 				}
@@ -215,7 +233,7 @@ func SimulateObserved(region *fabric.Region, mgr Manager, tasks []Task, fm fabri
 			stats.Rejected++
 			continue
 		}
-		pts, err := validatePlacement(region, occ, task.Module, p)
+		pts, err := ValidatePlacement(region, occ, task.Module, p)
 		if err != nil {
 			return nil, fmt.Errorf("online: manager %s task %d: %w", mgr.Name(), task.ID, err)
 		}
@@ -257,9 +275,12 @@ func SimulateObserved(region *fabric.Region, mgr Manager, tasks []Task, fm fabri
 	return stats, nil
 }
 
-// validatePlacement checks M_a, M_b and M_c for one online placement and
-// returns the absolute tiles on success.
-func validatePlacement(region *fabric.Region, occ *grid.Bitmap, m *module.Module, p Placement) ([]grid.Point, error) {
+// ValidatePlacement checks M_a, M_b and M_c for one online placement
+// and returns the absolute tiles on success. It is the shared validity
+// oracle: the simulator uses it to audit managers, the session engine
+// to audit itself, and loadgen's shadow revalidation to audit the
+// service from the outside.
+func ValidatePlacement(region *fabric.Region, occ *grid.Bitmap, m *module.Module, p Placement) ([]grid.Point, error) {
 	if p.Shape < 0 || p.Shape >= m.NumShapes() {
 		return nil, fmt.Errorf("shape index %d out of range", p.Shape)
 	}

@@ -57,6 +57,53 @@ func TestSimulateDepartureFreesSpace(t *testing.T) {
 	}
 }
 
+// releaseRecorder wraps a manager and records the order Release is
+// called in.
+type releaseRecorder struct {
+	FirstFit
+	released []TaskID
+}
+
+func (m *releaseRecorder) Release(id TaskID) {
+	m.released = append(m.released, id)
+	m.FirstFit.Release(id)
+}
+
+// TestSameTickDeparturesReleaseInIDOrder pins the departure heap's
+// tie-break: tasks departing on the same tick must release in ascending
+// id order, not in whatever heap-internal order their insertion
+// sequence produced. The ids arrive in descending order so a time-only
+// comparison (the old departureHeap.Less) pops them in a different,
+// insertion-dependent order.
+func TestSameTickDeparturesReleaseInIDOrder(t *testing.T) {
+	region := fabric.Homogeneous(16, 16).FullRegion()
+	const deadline = 100
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		// Descending ids 8..1, arriving in that order, all departing at
+		// the deadline tick.
+		id := TaskID(8 - i)
+		tasks = append(tasks, Task{
+			ID:       id,
+			Module:   clbModule("m", 2, 2),
+			Arrive:   int64(i),
+			Duration: deadline - int64(i),
+		})
+	}
+	mgr := &releaseRecorder{}
+	if _, err := Simulate(region, mgr, tasks, fabric.DefaultFrameModel()); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.released) != len(tasks) {
+		t.Fatalf("released %d of %d tasks: %v", len(mgr.released), len(tasks), mgr.released)
+	}
+	for i := 1; i < len(mgr.released); i++ {
+		if mgr.released[i-1] >= mgr.released[i] {
+			t.Fatalf("same-tick departures released out of id order: %v", mgr.released)
+		}
+	}
+}
+
 // badManager returns overlapping placements to exercise the simulator's
 // validation.
 type badManager struct{ base }

@@ -62,6 +62,7 @@ func (m *ReplanFirstFit) replan(t Task) (Placement, bool) {
 	defer m.Metrics.Timer("online_replan").Stop()
 	// Deterministic resident order.
 	ids := make([]TaskID, 0, len(m.resident))
+	//solverlint:allow nondeterminism keys are sorted immediately below before any decision depends on them
 	for id := range m.resident {
 		ids = append(ids, id)
 	}
@@ -82,12 +83,6 @@ func (m *ReplanFirstFit) replan(t Task) (Placement, bool) {
 
 	// Order the resident relocations (the newcomer configures last, onto
 	// cells that are free once all moves are applied).
-	type pendingMove struct {
-		id     TaskID
-		shape  int
-		at     grid.Point
-		target []grid.Point
-	}
 	occ := m.occ.Clone()
 	cur := map[TaskID][]grid.Point{}
 	var todo []pendingMove
@@ -100,26 +95,9 @@ func (m *ReplanFirstFit) replan(t Task) (Placement, bool) {
 		}
 		todo = append(todo, pendingMove{id: id, shape: p.ShapeIndex, at: p.At, target: p.Tiles()})
 	}
-	var moves []Move
-	for len(todo) > 0 {
-		progressed := false
-		for i := 0; i < len(todo); i++ {
-			mv := todo[i]
-			occ.SetPoints(cur[mv.id], false)
-			if occ.AnyAt(mv.target, grid.Pt(0, 0)) {
-				occ.SetPoints(cur[mv.id], true)
-				continue
-			}
-			occ.SetPoints(mv.target, true)
-			cur[mv.id] = mv.target
-			moves = append(moves, Move{ID: mv.id, Shape: mv.shape, At: mv.at})
-			todo = append(todo[:i], todo[i+1:]...)
-			progressed = true
-			i--
-		}
-		if !progressed {
-			return Placement{}, false // relocation cycle: give up
-		}
+	moves, stuck := orderMoves(occ, cur, todo)
+	if stuck > 0 {
+		return Placement{}, false // relocation cycle: give up
 	}
 
 	// Commit the plan to the manager's own state.

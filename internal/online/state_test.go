@@ -1,0 +1,229 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/grid"
+)
+
+func TestNewStateManagerSelection(t *testing.T) {
+	region := fabric.Homogeneous(8, 8).FullRegion()
+	for _, name := range SessionManagers() {
+		st, err := NewState(region, StateConfig{Manager: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.ManagerName() == "" {
+			t.Fatalf("%s: empty manager name", name)
+		}
+	}
+	if _, err := NewState(region, StateConfig{Manager: "1d-slots"}); err == nil {
+		t.Fatal("slot manager accepted for a session")
+	}
+	if _, err := NewState(nil, StateConfig{}); err == nil {
+		t.Fatal("nil region accepted")
+	}
+}
+
+func TestStatePlaceReleaseLifecycle(t *testing.T) {
+	region := fabric.Homogeneous(8, 8).FullRegion()
+	st, err := NewState(region, StateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.Place(1, clbModule("a", 4, 4))
+	if err != nil || !out.Placed || out.Replanned {
+		t.Fatalf("place: %+v, %v", out, err)
+	}
+	if out.Reconfig <= 0 {
+		t.Fatalf("placement priced at %v", out.Reconfig)
+	}
+	if _, err := st.Place(1, clbModule("dup", 2, 2)); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	stats := st.Stats()
+	if stats.Residents != 1 || stats.OccupiedTiles != 16 || stats.Placed != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Utilization <= 0 {
+		t.Fatalf("utilization: %+v", stats)
+	}
+	if !st.Release(1) {
+		t.Fatal("release of resident failed")
+	}
+	if st.Release(1) {
+		t.Fatal("double release reported success")
+	}
+	// The freed space is reusable, both in the shadow and the manager.
+	if out, err = st.Place(2, clbModule("b", 8, 8)); err != nil || !out.Placed {
+		t.Fatalf("region not fully reusable after release: %+v, %v", out, err)
+	}
+}
+
+func TestStateCapacityRejectionIsNotAnError(t *testing.T) {
+	region := fabric.Homogeneous(4, 4).FullRegion()
+	st, err := NewState(region, StateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := st.Place(1, clbModule("a", 4, 4)); err != nil || !out.Placed {
+		t.Fatalf("first: %+v, %v", out, err)
+	}
+	out, err := st.Place(2, clbModule("b", 2, 2))
+	if err != nil {
+		t.Fatalf("capacity rejection errored: %v", err)
+	}
+	if out.Placed {
+		t.Fatalf("placed into a full region: %+v", out)
+	}
+	if st.Stats().Rejected != 1 {
+		t.Fatalf("stats: %+v", st.Stats())
+	}
+}
+
+// TestStateReplanAdmitsBlockedArrival fragments a 16x4 strip (two 4x4
+// holes), offers an 8x4 module greedy placement cannot site, and
+// expects the CP replan to relocate residents and admit it.
+func TestStateReplanAdmitsBlockedArrival(t *testing.T) {
+	region := fabric.Homogeneous(16, 4).FullRegion()
+	st, err := NewState(region, StateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := TaskID(1); id <= 4; id++ {
+		if out, err := st.Place(id, clbModule("m", 4, 4)); err != nil || !out.Placed {
+			t.Fatalf("seed %d: %+v, %v", id, out, err)
+		}
+	}
+	st.Release(2)
+	st.Release(4)
+
+	out, err := st.Place(5, clbModule("wide", 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Placed || !out.Replanned {
+		t.Fatalf("replan did not admit the blocked arrival: %+v", out)
+	}
+	if len(out.Moves) == 0 {
+		t.Fatalf("admission without relocations cannot happen here: %+v", out)
+	}
+	for _, mv := range out.Moves {
+		if mv.Frames <= 0 || mv.Reconfig <= 0 {
+			t.Fatalf("unpriced move: %+v", mv)
+		}
+	}
+	stats := st.Stats()
+	if stats.Replans != 1 || stats.Moves != len(out.Moves) || stats.Residents != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// The shadow residency must be disjoint and complete: 16+16+32 tiles
+	// on a 64-tile region means full occupancy.
+	if stats.OccupiedTiles != 64 || stats.Utilization != 1 {
+		t.Fatalf("layout not tight after replan: %+v", stats)
+	}
+	// The re-seeded manager must agree with the shadow: nothing fits.
+	if out, err := st.Place(6, clbModule("x", 1, 1)); err != nil || out.Placed {
+		t.Fatalf("manager out of sync after replan: %+v, %v", out, err)
+	}
+}
+
+// TestStateDefragLowersFragmentation builds an L-shaped free space
+// (fragmentation 0.5) and expects a defrag pass to compact the layout
+// and reduce the metric.
+func TestStateDefragLowersFragmentation(t *testing.T) {
+	region := fabric.Homogeneous(8, 12).FullRegion()
+	st, err := NewState(region, StateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-fit layout: 1 = 8x4@(0,0), 2 = 4x4@(0,4), 3 = 4x4@(4,4),
+	// 4 = 4x4@(0,8). Releasing 2 leaves two 4x4 holes at (0,4) and
+	// (4,8) within the occupied span.
+	specs := []struct {
+		id   TaskID
+		w, h int
+	}{{1, 8, 4}, {2, 4, 4}, {3, 4, 4}, {4, 4, 4}}
+	for _, sp := range specs {
+		if out, err := st.Place(sp.id, clbModule("m", sp.w, sp.h)); err != nil || !out.Placed {
+			t.Fatalf("seed %d: %+v, %v", sp.id, out, err)
+		}
+	}
+	st.Release(2)
+
+	out, err := st.Defrag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Moves) == 0 {
+		t.Fatalf("no compaction moves: %+v", out)
+	}
+	if out.FragAfter >= out.FragBefore {
+		t.Fatalf("defrag did not lower fragmentation: %+v", out)
+	}
+	if out.Reconfig <= 0 {
+		t.Fatalf("unpriced defrag: %+v", out)
+	}
+	stats := st.Stats()
+	if stats.Defrags != 1 || stats.Residents != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Every resident must still hold a valid, disjoint placement.
+	occ := grid.NewBitmap(region.W(), region.H())
+	for _, r := range st.Residents() {
+		pts, err := ValidatePlacement(region, occ, r.Module, Placement{Shape: r.Shape, At: r.At})
+		if err != nil {
+			t.Fatalf("resident %d invalid after defrag: %v", r.ID, err)
+		}
+		occ.SetPoints(pts, true)
+	}
+	// Compacted 8x8 block: the freed 8x4 strip on top is usable again.
+	if out, err := st.Place(5, clbModule("top", 8, 4)); err != nil || !out.Placed || out.Replanned {
+		t.Fatalf("compacted space not greedily usable: %+v, %v", out, err)
+	}
+}
+
+// TestStateDefragEmptyAndTight covers the no-op paths: an empty session
+// and an already-tight layout both return an empty outcome.
+func TestStateDefragEmptyAndTight(t *testing.T) {
+	region := fabric.Homogeneous(8, 8).FullRegion()
+	st, err := NewState(region, StateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := st.Defrag(); err != nil || len(out.Moves) != 0 {
+		t.Fatalf("empty session: %+v, %v", out, err)
+	}
+	if _, err := st.Place(1, clbModule("a", 8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.Defrag()
+	if err != nil || len(out.Moves) != 0 {
+		t.Fatalf("tight layout: %+v, %v", out, err)
+	}
+}
+
+func TestSlot1DPreplaceKeepsSlotBookkeeping(t *testing.T) {
+	region := fabric.Homogeneous(16, 8).FullRegion()
+	m := &Slot1D{SlotWidth: 4}
+	m.Reset(region)
+	mod := clbModule("a", 6, 4)
+	// Straddles slots 1 and 2 (x in [5, 11)).
+	if !m.Preplace(1, mod, Placement{Shape: 0, At: grid.Pt(5, 0)}) {
+		t.Fatal("preplace refused a valid placement")
+	}
+	// Slots 1 and 2 are reserved: a 4-wide module must avoid them.
+	p, ok := m.TryPlace(Task{ID: 2, Module: clbModule("b", 4, 8)})
+	if !ok {
+		t.Fatal("free slots not usable after preplace")
+	}
+	if p.At.X >= 4 && p.At.X < 12 {
+		t.Fatalf("placement %v landed in reserved slots", p)
+	}
+	m.Release(1)
+	// All slots free again.
+	if _, ok := m.TryPlace(Task{ID: 3, Module: clbModule("c", 8, 8)}); !ok {
+		t.Fatal("slots not released")
+	}
+}

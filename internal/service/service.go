@@ -17,11 +17,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/place      solve or serve a cached placement (X-Cache: hit|miss)
-//	GET  /v1/healthz    liveness
-//	GET  /v1/stats      cache/queue/solve counters plus SLO attainment
-//	GET  /v1/fabrics    catalog of placeable devices
-//	GET  /debug/traces  recent and slowest request traces
+//	POST   /v1/place                        solve or serve a cached placement (X-Cache: hit|miss)
+//	POST   /v1/sessions                     open a stateful online session
+//	POST   /v1/sessions/{id}/place          place one arrival (greedy, CP replan fallback)
+//	DELETE /v1/sessions/{id}/modules/{task} release a resident module
+//	POST   /v1/sessions/{id}/defrag         compact the session, moves priced by the frame model
+//	GET    /v1/sessions/{id}/stats          residency, utilization, fragmentation
+//	DELETE /v1/sessions/{id}                close a session
+//	GET    /v1/healthz                      liveness
+//	GET    /v1/stats                        cache/queue/solve/session counters plus SLO attainment
+//	GET    /v1/fabrics                      catalog of placeable devices
+//	GET    /debug/traces                    recent and slowest request traces
 package service
 
 import (
@@ -97,6 +103,13 @@ type Config struct {
 	// (see internal/faultinject); nil — the default — disables
 	// injection at zero per-request cost.
 	Faults *faultinject.Injector
+	// MaxSessions caps live online sessions; creating one past the cap
+	// evicts the least recently used (default 256).
+	MaxSessions int
+	// SessionTTL expires sessions idle for longer (default 15m).
+	// Expiry is lazy — checked on access — so the daemon runs no
+	// background reaper goroutine.
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +146,12 @@ func (c Config) withDefaults() Config {
 	if c.SLOWindow < time.Second {
 		c.SLOWindow = time.Second
 	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -159,15 +178,26 @@ type Server struct {
 	// field so every site check is one pointer load.
 	faults *faultinject.Injector
 
-	requests  *obs.Counter
-	cacheHits *obs.Counter
-	solves    *obs.Counter
-	dedups    *obs.Counter
-	rejected  *obs.Counter
-	timeouts  *obs.Counter
-	canceled  *obs.Counter
-	errCount  *obs.Counter
-	degraded  *obs.Counter
+	// sessions is the online-session table; sessionSlots bounds the
+	// session solves (replan, defrag) that run inline under a session
+	// lock instead of on the detached worker pool (see session.go).
+	sessions     *sessionStore
+	sessionSlots chan struct{}
+
+	requests    *obs.Counter
+	cacheHits   *obs.Counter
+	solves      *obs.Counter
+	dedups      *obs.Counter
+	rejected    *obs.Counter
+	timeouts    *obs.Counter
+	canceled    *obs.Counter
+	errCount    *obs.Counter
+	degraded    *obs.Counter
+	sessCreated *obs.Counter
+	sessEvicted *obs.Counter
+	sessExpired *obs.Counter
+	sessReplans *obs.Counter
+	sessDefrags *obs.Counter
 }
 
 // New builds a server and starts its worker pool.
@@ -175,22 +205,29 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	s := &Server{
-		cfg:       cfg,
-		cache:     newLRU(cfg.CacheEntries),
-		flight:    newFlightGroup(),
-		pool:      newPool(cfg.Workers, cfg.MaxInFlight),
-		start:     time.Now(),
-		accessLog: newAccessLogger(cfg.AccessLog),
-		slo:       newSLOTracker(cfg.SLOLatency),
-		requests:  reg.Counter("service_requests_total"),
-		cacheHits: reg.Counter("service_cache_hits_total"),
-		solves:    reg.Counter("service_solves_total"),
-		dedups:    reg.Counter("service_dedup_total"),
-		rejected:  reg.Counter("service_rejected_total"),
-		timeouts:  reg.Counter("service_timeouts_total"),
-		canceled:  reg.Counter("service_canceled_total"),
-		errCount:  reg.Counter("service_solve_errors_total"),
-		degraded:  reg.Counter("service_degraded_total"),
+		cfg:          cfg,
+		cache:        newLRU(cfg.CacheEntries),
+		flight:       newFlightGroup(),
+		pool:         newPool(cfg.Workers, cfg.MaxInFlight),
+		start:        time.Now(),
+		accessLog:    newAccessLogger(cfg.AccessLog),
+		slo:          newSLOTracker(cfg.SLOLatency),
+		sessions:     newSessionStore(cfg.MaxSessions, cfg.SessionTTL, nil),
+		sessionSlots: make(chan struct{}, cfg.Workers),
+		requests:     reg.Counter("service_requests_total"),
+		cacheHits:    reg.Counter("service_cache_hits_total"),
+		solves:       reg.Counter("service_solves_total"),
+		dedups:       reg.Counter("service_dedup_total"),
+		rejected:     reg.Counter("service_rejected_total"),
+		timeouts:     reg.Counter("service_timeouts_total"),
+		canceled:     reg.Counter("service_canceled_total"),
+		errCount:     reg.Counter("service_solve_errors_total"),
+		degraded:     reg.Counter("service_degraded_total"),
+		sessCreated:  reg.Counter("service_sessions_created_total"),
+		sessEvicted:  reg.Counter("service_sessions_evicted_total"),
+		sessExpired:  reg.Counter("service_sessions_expired_total"),
+		sessReplans:  reg.Counter("service_session_replans_total"),
+		sessDefrags:  reg.Counter("service_session_defrags_total"),
 	}
 	s.faults = cfg.Faults
 	s.solve = s.solvePlacement
@@ -204,7 +241,13 @@ func (s *Server) Close() { s.pool.Close() }
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/place", s.handlePlace)
+	mux.HandleFunc("POST /v1/place", s.observed(s.servePlace))
+	mux.HandleFunc("POST /v1/sessions", s.observed(s.handleSessionCreate))
+	mux.HandleFunc("POST /v1/sessions/{id}/place", s.observed(s.handleSessionPlace))
+	mux.HandleFunc("POST /v1/sessions/{id}/defrag", s.observed(s.handleSessionDefrag))
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.observed(s.handleSessionStats))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.observed(s.handleSessionDelete))
+	mux.HandleFunc("DELETE /v1/sessions/{id}/modules/{task}", s.observed(s.handleSessionRelease))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/fabrics", s.handleFabrics)
@@ -251,38 +294,46 @@ func (s *Server) traceFor(r *http.Request) *obs.Trace {
 	return s.cfg.Tracer.New("request")
 }
 
-func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
-	s.requests.Inc()
-	reqT := s.cfg.Registry.Timer("service_request")
-	start := time.Now()
-	tr := s.traceFor(r)
-	if tr != nil {
-		// Set on the header map before any WriteHeader call, so error
-		// responses (400/429/499/504/...) carry the id too.
-		w.Header().Set("X-Trace-Id", tr.ID().String())
+// observed wraps a traced endpoint body with the daemon's per-request
+// bookkeeping: the request counter and timer, the request-scoped trace
+// (X-Trace-Id on every response, including errors), SLO accounting,
+// and one access-log line. /v1/place and every session endpoint share
+// this skeleton, so all of them show up in the same operational
+// surfaces.
+func (s *Server) observed(h func(http.ResponseWriter, *http.Request, *obs.Trace, *placeOutcome)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		reqT := s.cfg.Registry.Timer("service_request")
+		start := time.Now()
+		tr := s.traceFor(r)
+		if tr != nil {
+			// Set on the header map before any WriteHeader call, so error
+			// responses (400/429/499/504/...) carry the id too.
+			w.Header().Set("X-Trace-Id", tr.ID().String())
+		}
+		out := &placeOutcome{status: http.StatusOK, cache: "none"}
+		defer func() {
+			elapsed := time.Since(start)
+			reqT.Stop()
+			tr.Finish()
+			s.slo.Observe(elapsed, out.status)
+			s.accessLog.log(AccessRecord{
+				Time:    start.UTC().Format(time.RFC3339Nano),
+				TraceID: traceIDString(tr),
+				Method:  r.Method,
+				Path:    r.URL.Path,
+				Status:  out.status,
+				DurMs:   float64(elapsed.Microseconds()) / 1000,
+				Digest:  out.digest,
+				Cache:   out.cache,
+				QueueMs: float64(out.queueNs.Load()) / 1e6,
+				SolveMs: float64(out.solveNs.Load()) / 1e6,
+				Quality: out.quality,
+				Error:   out.errText,
+			})
+		}()
+		h(w, r, tr, out)
 	}
-	out := &placeOutcome{status: http.StatusOK, cache: "none"}
-	defer func() {
-		elapsed := time.Since(start)
-		reqT.Stop()
-		tr.Finish()
-		s.slo.Observe(elapsed, out.status)
-		s.accessLog.log(AccessRecord{
-			Time:    start.UTC().Format(time.RFC3339Nano),
-			TraceID: traceIDString(tr),
-			Method:  r.Method,
-			Path:    r.URL.Path,
-			Status:  out.status,
-			DurMs:   float64(elapsed.Microseconds()) / 1000,
-			Digest:  out.digest,
-			Cache:   out.cache,
-			QueueMs: float64(out.queueNs.Load()) / 1e6,
-			SolveMs: float64(out.solveNs.Load()) / 1e6,
-			Quality: out.quality,
-			Error:   out.errText,
-		})
-	}()
-	s.servePlace(w, r, tr, out)
 }
 
 func traceIDString(tr *obs.Trace) string {
@@ -591,6 +642,14 @@ type StatsResponse struct {
 	MaxInFlight int        `json:"maxInFlight"`
 	Cache       CacheStats `json:"cache"`
 	SLO         SLOStats   `json:"slo"`
+	// Sessions counts live online sessions; the *_total companions
+	// count lifecycle events since start.
+	Sessions        int   `json:"sessions"`
+	SessionsCreated int64 `json:"sessionsCreated"`
+	SessionsEvicted int64 `json:"sessionsEvicted"`
+	SessionsExpired int64 `json:"sessionsExpired"`
+	SessionReplans  int64 `json:"sessionReplans"`
+	SessionDefrags  int64 `json:"sessionDefrags"`
 	// Faults snapshots fault-injection fires ("site:mode" -> count);
 	// omitted when injection is disabled.
 	Faults map[string]int64 `json:"faults,omitempty"`
@@ -600,22 +659,28 @@ type StatsResponse struct {
 // and singleflight-deduplicated requests as hits: neither ran a solve.
 func (s *Server) Stats() StatsResponse {
 	st := StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Value(),
-		CacheHits:     s.cacheHits.Value(),
-		DedupHits:     s.dedups.Value(),
-		Solves:        s.solves.Value(),
-		SolveErrors:   s.errCount.Value(),
-		Rejected:      s.rejected.Value(),
-		Timeouts:      s.timeouts.Value(),
-		Canceled:      s.canceled.Value(),
-		Degraded:      s.degraded.Value(),
-		QueueDepth:    s.pool.QueueDepth(),
-		InFlight:      s.pool.InFlight(),
-		Workers:       s.cfg.Workers,
-		MaxInFlight:   s.cfg.MaxInFlight,
-		Cache:         s.cache.Stats(),
-		SLO:           s.slo.Stats(s.cfg.SLOWindow),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.requests.Value(),
+		CacheHits:       s.cacheHits.Value(),
+		DedupHits:       s.dedups.Value(),
+		Solves:          s.solves.Value(),
+		SolveErrors:     s.errCount.Value(),
+		Rejected:        s.rejected.Value(),
+		Timeouts:        s.timeouts.Value(),
+		Canceled:        s.canceled.Value(),
+		Degraded:        s.degraded.Value(),
+		QueueDepth:      s.pool.QueueDepth(),
+		InFlight:        s.pool.InFlight(),
+		Workers:         s.cfg.Workers,
+		MaxInFlight:     s.cfg.MaxInFlight,
+		Cache:           s.cache.Stats(),
+		SLO:             s.slo.Stats(s.cfg.SLOWindow),
+		Sessions:        s.sessions.len(),
+		SessionsCreated: s.sessCreated.Value(),
+		SessionsEvicted: s.sessEvicted.Value(),
+		SessionsExpired: s.sessExpired.Value(),
+		SessionReplans:  s.sessReplans.Value(),
+		SessionDefrags:  s.sessDefrags.Value(),
 	}
 	if s.faults != nil {
 		st.Faults = s.faults.Stats()

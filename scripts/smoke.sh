@@ -5,7 +5,9 @@
 # request twice and require a cache miss then a byte-identical cache
 # hit, check liveness and the observability round trip (X-Trace-Id
 # header, structured access-log line, span stream rendered by
-# tracecat), and shut down cleanly.
+# tracecat), run a stateful session round trip (create, place, release,
+# defrag with priced moves, occupancy stats, delete), and shut down
+# cleanly.
 set -eu
 
 PORT="${PORT:-18723}"
@@ -82,6 +84,91 @@ case "$STATS" in
     ;;
 esac
 
+# --- Stateful session round trip -------------------------------------
+
+# clb_module NAME W H prints a single-shape all-CLB module spec.
+clb_module() {
+    _tiles=""
+    _y=0
+    while [ "$_y" -lt "$3" ]; do
+        _x=0
+        while [ "$_x" -lt "$2" ]; do
+            _tiles="${_tiles}{\"x\":$_x,\"y\":$_y,\"kind\":\"CLB\"},"
+            _x=$((_x + 1))
+        done
+        _y=$((_y + 1))
+    done
+    printf '{"name":"%s","shapes":[{"tiles":[%s]}]}' "$1" "${_tiles%,}"
+}
+
+SESSION="$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"fabric":"spartan-like-24x16","region":{"x":0,"y":0,"w":8,"h":12},"replan":{"stallNodes":200}}' \
+    "$BASE/v1/sessions" | sed -n 's/.*"session":"\([0-9a-f]*\)".*/\1/p')"
+if ! echo "$SESSION" | grep -Eq '^[0-9a-f]{32}$'; then
+    echo "smoke: session create returned id \"$SESSION\", want 32-hex" >&2
+    exit 1
+fi
+echo "smoke: session $SESSION created"
+
+# session_place TASK W H places one module and requires placed:true
+# plus an X-Trace-Id on the response.
+session_place() {
+    curl -sf -D "$WORKDIR/sess.headers" \
+        -H 'Content-Type: application/json' \
+        -d "{\"task\":$1,\"module\":$(clb_module "m$1" "$2" "$3")}" \
+        "$BASE/v1/sessions/$SESSION/place" >"$WORKDIR/sess.body"
+    if ! grep -q '"placed":true' "$WORKDIR/sess.body"; then
+        echo "smoke: session place of task $1 failed: $(cat "$WORKDIR/sess.body")" >&2
+        exit 1
+    fi
+    if ! grep -iq '^x-trace-id:' "$WORKDIR/sess.headers"; then
+        echo "smoke: session place response lacks X-Trace-Id" >&2
+        exit 1
+    fi
+}
+
+session_place 1 8 4
+session_place 2 4 4
+session_place 3 4 4
+session_place 4 4 4
+echo "smoke: four modules resident"
+
+RELEASE="$(curl -sf -X DELETE "$BASE/v1/sessions/$SESSION/modules/2")"
+case "$RELEASE" in
+*'"released":true'*) ;;
+*)
+    echo "smoke: release of task 2 failed: $RELEASE" >&2
+    exit 1
+    ;;
+esac
+
+DEFRAG="$(curl -sf -X POST "$BASE/v1/sessions/$SESSION/defrag")"
+case "$DEFRAG" in
+*'"moves":[{'*'"frames":'*) ;;
+*)
+    echo "smoke: defrag returned no priced moves: $DEFRAG" >&2
+    exit 1
+    ;;
+esac
+echo "smoke: defrag compacted the session"
+
+SESS_STATS="$(curl -sf "$BASE/v1/sessions/$SESSION/stats")"
+case "$SESS_STATS" in
+*'"residents":3'*'"occupiedTiles":64'*) ;;
+*)
+    echo "smoke: session stats disagree with expected occupancy: $SESS_STATS" >&2
+    exit 1
+    ;;
+esac
+echo "smoke: session occupancy verified"
+
+curl -sf -X DELETE "$BASE/v1/sessions/$SESSION" >/dev/null
+if curl -sf "$BASE/v1/sessions/$SESSION/stats" >/dev/null 2>&1; then
+    echo "smoke: deleted session still answers stats" >&2
+    exit 1
+fi
+echo "smoke: session deleted"
+
 kill "$DAEMON_PID"
 wait "$DAEMON_PID" || {
     echo "smoke: daemon exited non-zero on SIGTERM" >&2
@@ -90,10 +177,11 @@ wait "$DAEMON_PID" || {
 DAEMON_PID=""
 echo "smoke: clean shutdown"
 
-# One well-formed access-log line per request, correlated by trace id.
+# One well-formed access-log line per request, correlated by trace id:
+# 2 /v1/place requests plus the 10-request session round trip.
 LINES="$(wc -l < "$WORKDIR/access.log")"
-if [ "$LINES" -ne 2 ]; then
-    echo "smoke: access log has $LINES lines after 2 requests" >&2
+if [ "$LINES" -ne 12 ]; then
+    echo "smoke: access log has $LINES lines after 12 requests" >&2
     cat "$WORKDIR/access.log" >&2
     exit 1
 fi
